@@ -1,0 +1,31 @@
+//! The beyond-the-paper ablations, timed and printed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_bench::{print_once, shared_profiles};
+use leakage_experiments::ablations;
+
+fn bench(c: &mut Criterion) {
+    let profiles = shared_profiles();
+    print_once(&[
+        ablations::dead_intervals(profiles),
+        ablations::power_ratios(profiles),
+        ablations::transition_models(profiles),
+        ablations::prefetch_frontier(profiles),
+        ablations::calibration_consistency(),
+    ]);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("dead_intervals", |b| {
+        b.iter(|| black_box(ablations::dead_intervals(profiles)))
+    });
+    group.bench_function("power_ratio_grid", |b| {
+        b.iter(|| black_box(ablations::power_ratios(profiles)))
+    });
+    group.bench_function("transition_models", |b| {
+        b.iter(|| black_box(ablations::transition_models(profiles)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 7: time the minimum-sleep-interval sweep, printing both series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_bench::{print_once, shared_profiles};
+use leakage_cachesim::Level1;
+use leakage_experiments::fig7;
+
+fn bench(c: &mut Criterion) {
+    let profiles = shared_profiles();
+    let (icache, dcache) = fig7::generate(profiles);
+    print_once(&[icache, dcache]);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("icache_series", |b| {
+        b.iter(|| black_box(fig7::series(profiles, Level1::Instruction)))
+    });
+    group.bench_function("dcache_series", |b| {
+        b.iter(|| black_box(fig7::series(profiles, Level1::Data)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 8: time the six-scheme comparison, printing both tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_bench::{print_once, shared_profiles};
+use leakage_cachesim::Level1;
+use leakage_experiments::fig8;
+
+fn bench(c: &mut Criterion) {
+    let profiles = shared_profiles();
+    let (icache, dcache) = fig8::generate(profiles);
+    print_once(&[icache, dcache]);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("all_schemes_icache", |b| {
+        b.iter(|| black_box(fig8::series(profiles, Level1::Instruction)))
+    });
+    group.bench_function("all_schemes_dcache", |b| {
+        b.iter(|| black_box(fig8::series(profiles, Level1::Data)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 9: time the banded prefetchability analysis, printing it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_bench::{print_once, shared_profiles};
+use leakage_cachesim::Level1;
+use leakage_experiments::fig9;
+
+fn bench(c: &mut Criterion) {
+    let profiles = shared_profiles();
+    let (icache, dcache) = fig9::generate(profiles);
+    print_once(&[icache, dcache]);
+    let mut group = c.benchmark_group("fig9");
+    group.bench_function("analyze_one_benchmark", |b| {
+        b.iter(|| black_box(fig9::analyze(&profiles[0], Level1::Data)))
+    });
+    group.bench_function("suite_average_both_sides", |b| {
+        b.iter(|| {
+            black_box(fig9::average(profiles, Level1::Instruction));
+            black_box(fig9::average(profiles, Level1::Data));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

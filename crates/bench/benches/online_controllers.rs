@@ -1,0 +1,31 @@
+//! Timeline-simulator throughput per controller.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_core::{CircuitParams, TechnologyNode};
+use leakage_online::{Controller, OnlineSink};
+use leakage_trace::TraceSource;
+use leakage_workloads::{gzip, Scale};
+
+fn bench(c: &mut Criterion) {
+    let params = CircuitParams::for_node(TechnologyNode::N70);
+    let mut group = c.benchmark_group("online");
+    group.sample_size(10);
+    for controller in [
+        Controller::decay(10_000),
+        Controller::quantized_decay(10_000),
+        Controller::periodic_drowsy(4_000),
+        Controller::adaptive_decay(),
+    ] {
+        group.bench_function(controller.name(), |b| {
+            b.iter(|| {
+                let mut sink = OnlineSink::new(params.clone(), controller.clone());
+                gzip(Scale::Test).run(&mut sink);
+                black_box(sink.finish())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end pipeline throughput: workload generation, cache
+//! simulation, interval extraction and prefetch analysis combined.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use leakage_experiments::profile_benchmark;
+use leakage_trace::{TraceSink, TraceSource};
+use leakage_workloads::{gzip, suite, Scale};
+
+struct CountingSink(u64);
+
+impl TraceSink for CountingSink {
+    fn accept(&mut self, _access: leakage_trace::MemoryAccess) {
+        self.0 += 1;
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // How many accesses does one gzip Test run emit?
+    let mut counter = CountingSink(0);
+    gzip(Scale::Test).run(&mut counter);
+    let accesses = counter.0;
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("generate_only_gzip_test", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink(0);
+            gzip(Scale::Test).run(&mut sink);
+            black_box(sink.0)
+        })
+    });
+    group.bench_function("full_profile_gzip_test", |b| {
+        b.iter(|| black_box(profile_benchmark(&mut gzip(Scale::Test))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("suite");
+    group.sample_size(10);
+    group.bench_function("profile_all_six_test_scale", |b| {
+        b.iter(|| {
+            for mut bench in suite(Scale::Test) {
+                black_box(profile_benchmark(&mut bench));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Fig. 1, Fig. 10 and Table 3: profile-free artifacts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_bench::print_once;
+use leakage_experiments::{fig1, fig10, table3};
+
+fn bench(c: &mut Criterion) {
+    print_once(&[fig1::generate(), fig10::generate(), table3::generate()]);
+    c.bench_function("fig1/itrs_projection", |b| b.iter(|| black_box(fig1::generate())));
+    c.bench_function("fig10/envelope_series", |b| b.iter(|| black_box(fig10::generate())));
+    c.bench_function("table3/definitions", |b| b.iter(|| black_box(table3::generate())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

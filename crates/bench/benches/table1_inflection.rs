@@ -1,0 +1,22 @@
+//! Table 1: time the Eq. 3 inflection-point solve, printing the table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_bench::print_once;
+use leakage_core::{CircuitParams, IntervalEnergyModel, TechnologyNode};
+use leakage_experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    print_once(&[table1::generate()]);
+    c.bench_function("table1/solve_all_nodes", |b| {
+        b.iter(|| {
+            for node in TechnologyNode::ALL {
+                let model = IntervalEnergyModel::new(CircuitParams::for_node(node));
+                black_box(model.inflection_points());
+            }
+        })
+    });
+    c.bench_function("table1/full_table", |b| b.iter(|| black_box(table1::generate())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

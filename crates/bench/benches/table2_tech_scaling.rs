@@ -1,0 +1,23 @@
+//! Table 2: time the four-node optimal-savings evaluation, printing it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_bench::{print_once, shared_profiles};
+use leakage_core::TechnologyNode;
+use leakage_experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let profiles = shared_profiles();
+    print_once(&[table2::generate(profiles)]);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("node_savings_70nm", |b| {
+        b.iter(|| black_box(table2::node_savings(TechnologyNode::N70, profiles)))
+    });
+    group.bench_function("full_table_all_nodes", |b| {
+        b.iter(|| black_box(table2::generate(profiles)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

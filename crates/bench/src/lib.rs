@@ -1,0 +1,31 @@
+//! Shared setup for the Criterion benches.
+//!
+//! Every bench that regenerates one of the paper's artifacts prints the
+//! regenerated rows once (to stderr) before timing, so a `cargo bench`
+//! log doubles as a record of the reproduced tables and figures. The
+//! benches profile the workload suite at a reduced scale to keep wall
+//! times reasonable; the `repro` binary is the tool for full-scale
+//! regeneration.
+
+use leakage_experiments::{profile_suite, BenchmarkProfile};
+use leakage_workloads::Scale;
+use std::sync::OnceLock;
+
+/// The scale benches profile at (larger runs belong to `repro`).
+pub const BENCH_SCALE: Scale = Scale::Small;
+
+/// Profiles the suite once per process and shares it across benches.
+pub fn shared_profiles() -> &'static [BenchmarkProfile] {
+    static PROFILES: OnceLock<Vec<BenchmarkProfile>> = OnceLock::new();
+    PROFILES.get_or_init(|| profile_suite(BENCH_SCALE))
+}
+
+/// Prints an artifact table once per process.
+pub fn print_once(tables: &[leakage_experiments::Table]) {
+    static PRINTED: OnceLock<()> = OnceLock::new();
+    PRINTED.get_or_init(|| {
+        for table in tables {
+            eprintln!("{table}");
+        }
+    });
+}

@@ -1,0 +1,287 @@
+//! Cache geometry configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a single cache level.
+///
+/// A config is validated at construction ([`CacheConfig::new`]); once a
+/// value exists its geometry accessors cannot fail.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_cachesim::CacheConfig;
+///
+/// # fn main() -> Result<(), leakage_cachesim::CacheConfigError> {
+/// let l1i = CacheConfig::new("L1I", 64 * 1024, 2, 64, 1)?;
+/// assert_eq!(l1i.num_frames(), 1024);
+/// assert_eq!(l1i.num_sets(), 512);
+/// assert_eq!(l1i.line_bits(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    name: String,
+    size_bytes: u64,
+    ways: u32,
+    line_bytes: u32,
+    hit_latency: u32,
+}
+
+/// Errors produced when validating a [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// The total size, line size, or way count was zero.
+    Zero(&'static str),
+    /// A parameter that must be a power of two was not.
+    NotPowerOfTwo(&'static str, u64),
+    /// `size / (line * ways)` does not come out to a whole power-of-two
+    /// number of sets.
+    Indivisible {
+        /// Total cache capacity in bytes.
+        size_bytes: u64,
+        /// Bytes per line.
+        line_bytes: u32,
+        /// Associativity.
+        ways: u32,
+    },
+}
+
+impl std::fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheConfigError::Zero(what) => write!(f, "{what} must be nonzero"),
+            CacheConfigError::NotPowerOfTwo(what, value) => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            CacheConfigError::Indivisible {
+                size_bytes,
+                line_bytes,
+                ways,
+            } => write!(
+                f,
+                "cache of {size_bytes} bytes cannot be divided into {ways}-way sets of {line_bytes}-byte lines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+impl CacheConfig {
+    /// Creates and validates a cache configuration.
+    ///
+    /// `size_bytes`, `line_bytes` and the resulting set count must all be
+    /// powers of two; `ways` must be nonzero and no larger than the total
+    /// number of lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheConfigError`] describing the first violated
+    /// constraint.
+    pub fn new(
+        name: impl Into<String>,
+        size_bytes: u64,
+        ways: u32,
+        line_bytes: u32,
+        hit_latency: u32,
+    ) -> Result<Self, CacheConfigError> {
+        if size_bytes == 0 {
+            return Err(CacheConfigError::Zero("cache size"));
+        }
+        if line_bytes == 0 {
+            return Err(CacheConfigError::Zero("line size"));
+        }
+        if ways == 0 {
+            return Err(CacheConfigError::Zero("associativity"));
+        }
+        if !size_bytes.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo("cache size", size_bytes));
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo(
+                "line size",
+                u64::from(line_bytes),
+            ));
+        }
+        let line_count = size_bytes / u64::from(line_bytes);
+        if line_count == 0 || !line_count.is_multiple_of(u64::from(ways)) {
+            return Err(CacheConfigError::Indivisible {
+                size_bytes,
+                line_bytes,
+                ways,
+            });
+        }
+        let sets = line_count / u64::from(ways);
+        if !sets.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo("set count", sets));
+        }
+        Ok(CacheConfig {
+            name: name.into(),
+            size_bytes,
+            ways,
+            line_bytes,
+            hit_latency,
+        })
+    }
+
+    /// The paper's L1 instruction cache: 64 KB, 2-way, 1-cycle hits.
+    pub fn alpha_l1i() -> Self {
+        CacheConfig::new("L1I", 64 * 1024, 2, 64, 1).expect("static config is valid")
+    }
+
+    /// The paper's L1 data cache: 64 KB, 2-way, 3-cycle hits.
+    pub fn alpha_l1d() -> Self {
+        CacheConfig::new("L1D", 64 * 1024, 2, 64, 3).expect("static config is valid")
+    }
+
+    /// The paper's unified L2: 2 MB, direct-mapped, 7-cycle hits.
+    pub fn alpha_l2() -> Self {
+        CacheConfig::new("L2", 2 * 1024 * 1024, 1, 64, 7).expect("static config is valid")
+    }
+
+    /// Human-readable cache name (e.g. `"L1I"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (frames per set).
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Latency of a hit, in cycles.
+    pub fn hit_latency(&self) -> u32 {
+        self.hit_latency
+    }
+
+    /// Number of line-sized frames in the cache.
+    pub fn num_frames(&self) -> u32 {
+        (self.size_bytes / u64::from(self.line_bytes)) as u32
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.num_frames() / self.ways
+    }
+
+    /// Number of byte-offset bits within a line (`log2(line_bytes)`).
+    pub fn line_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Number of set-index bits (`log2(num_sets)`).
+    pub fn index_bits(&self) -> u32 {
+        self.num_sets().trailing_zeros()
+    }
+}
+
+impl std::fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} KB, {}-way, {}B lines, {}-cycle hits",
+            self.name,
+            self.size_bytes / 1024,
+            self.ways,
+            self.line_bytes,
+            self.hit_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_configs_match_paper() {
+        let l1i = CacheConfig::alpha_l1i();
+        assert_eq!(l1i.size_bytes(), 65536);
+        assert_eq!(l1i.ways(), 2);
+        assert_eq!(l1i.hit_latency(), 1);
+        assert_eq!(l1i.num_frames(), 1024);
+        assert_eq!(l1i.num_sets(), 512);
+        assert_eq!(l1i.index_bits(), 9);
+
+        let l1d = CacheConfig::alpha_l1d();
+        assert_eq!(l1d.hit_latency(), 3);
+        assert_eq!(l1d.num_frames(), 1024);
+
+        let l2 = CacheConfig::alpha_l2();
+        assert_eq!(l2.ways(), 1);
+        assert_eq!(l2.hit_latency(), 7);
+        assert_eq!(l2.num_frames(), 32768);
+        assert_eq!(l2.num_sets(), 32768);
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert_eq!(
+            CacheConfig::new("c", 0, 1, 64, 1),
+            Err(CacheConfigError::Zero("cache size"))
+        );
+        assert_eq!(
+            CacheConfig::new("c", 1024, 0, 64, 1),
+            Err(CacheConfigError::Zero("associativity"))
+        );
+        assert_eq!(
+            CacheConfig::new("c", 1024, 1, 0, 1),
+            Err(CacheConfigError::Zero("line size"))
+        );
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            CacheConfig::new("c", 3000, 1, 64, 1),
+            Err(CacheConfigError::NotPowerOfTwo("cache size", 3000))
+        ));
+        assert!(matches!(
+            CacheConfig::new("c", 4096, 1, 48, 1),
+            Err(CacheConfigError::NotPowerOfTwo("line size", 48))
+        ));
+    }
+
+    #[test]
+    fn rejects_indivisible_geometry() {
+        // 4096 / 64 = 64 lines; 3 ways does not divide 64.
+        assert!(matches!(
+            CacheConfig::new("c", 4096, 3, 64, 1),
+            Err(CacheConfigError::Indivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn fully_associative_is_allowed() {
+        let c = CacheConfig::new("fa", 4096, 64, 64, 1).unwrap();
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.index_bits(), 0);
+        assert_eq!(c.num_frames(), 64);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = CacheConfig::new("c", 4096, 3, 64, 1).unwrap_err();
+        assert!(err.to_string().contains("cannot be divided"));
+        assert!(CacheConfigError::Zero("x").to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn display_includes_geometry() {
+        let text = CacheConfig::alpha_l1d().to_string();
+        assert!(text.contains("64 KB"));
+        assert!(text.contains("2-way"));
+    }
+}

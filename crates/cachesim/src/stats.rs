@@ -1,0 +1,89 @@
+//! Hit/miss counters for a cache level.
+
+use serde::{Deserialize, Serialize};
+
+/// Access counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that found the line resident.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Misses that displaced a valid line.
+    pub evictions: u64,
+    /// Evictions of dirty lines (write-backs to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Fraction of accesses that hit, or 0.0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of accesses that missed, or 0.0 for an untouched cache.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits ({:.2}%), {} misses, {} evictions ({} dirty)",
+            self.accesses,
+            self.hits,
+            self.hit_rate() * 100.0,
+            self.misses,
+            self.evictions,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+            writebacks: 1,
+        };
+        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let s = CacheStats {
+            accesses: 4,
+            hits: 1,
+            misses: 3,
+            evictions: 0,
+            writebacks: 0,
+        };
+        assert!(s.to_string().contains("25.00%"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Performance-cost accounting for implementable schemes.
+//!
+//! The oracle policies are performance-neutral by construction: perfect
+//! future knowledge lets them finish every wakeup and refetch just in
+//! time (paper §3.2, Fig. 3). Implementable schemes are not — a decayed
+//! line's next access stalls for the refetch, and an unpredicted drowsy
+//! line stalls for its wakeup. The paper defers this axis to future work
+//! ("the best design trade-off of power and performance is somewhere in
+//! between of the Prefetch-A and Prefetch-B methods"); this module
+//! provides the measurement.
+//!
+//! Stall accounting is deliberately simple and per-line, matching the
+//! energy model's scope: each interval contributes the stall its closing
+//! access suffers under the scheme. Overlap effects inside an
+//! out-of-order core would shave some of these cycles; the number is an
+//! upper bound of the same kind the energy savings are.
+
+use serde::{Deserialize, Serialize};
+
+/// Stall-cycle totals accumulated by a policy over a distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StallAccount {
+    /// Total stall cycles charged to closing accesses.
+    pub stall_cycles: f64,
+    /// Number of accesses that stalled at all.
+    pub stalled_accesses: u64,
+    /// Number of closing accesses considered.
+    pub closing_accesses: u64,
+}
+
+impl StallAccount {
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &StallAccount) {
+        self.stall_cycles += other.stall_cycles;
+        self.stalled_accesses += other.stalled_accesses;
+        self.closing_accesses += other.closing_accesses;
+    }
+
+    /// Average stall cycles per closing access.
+    pub fn stall_per_access(&self) -> f64 {
+        if self.closing_accesses == 0 {
+            0.0
+        } else {
+            self.stall_cycles / self.closing_accesses as f64
+        }
+    }
+
+    /// Fraction of closing accesses that stalled.
+    pub fn stall_rate(&self) -> f64 {
+        if self.closing_accesses == 0 {
+            0.0
+        } else {
+            self.stalled_accesses as f64 / self.closing_accesses as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StallAccount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} stall cycles/access over {} accesses ({:.2}% stalled)",
+            self.stall_per_access(),
+            self.closing_accesses,
+            self.stall_rate() * 100.0
+        )
+    }
+}
+
+/// The stall an interval's closing access suffers, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Stall {
+    /// No delay (active line, or a wakeup hidden by oracle/prefetch).
+    None,
+    /// The drowsy wakeup ramp (`d3` cycles).
+    DrowsyWakeup(u64),
+    /// A full induced miss: wakeup plus L2 refetch (`s3 + s4` cycles).
+    InducedMiss(u64),
+}
+
+impl Stall {
+    /// The stall in cycles.
+    pub fn cycles(self) -> u64 {
+        match self {
+            Stall::None => 0,
+            Stall::DrowsyWakeup(c) | Stall::InducedMiss(c) => c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_account() {
+        let account = StallAccount::default();
+        assert_eq!(account.stall_per_access(), 0.0);
+        assert_eq!(account.stall_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_rates() {
+        let mut a = StallAccount {
+            stall_cycles: 14.0,
+            stalled_accesses: 2,
+            closing_accesses: 10,
+        };
+        let b = StallAccount {
+            stall_cycles: 6.0,
+            stalled_accesses: 3,
+            closing_accesses: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.stall_cycles, 20.0);
+        assert_eq!(a.stall_per_access(), 1.0);
+        assert_eq!(a.stall_rate(), 0.25);
+        assert!(a.to_string().contains("25.00%"));
+    }
+
+    #[test]
+    fn stall_cycles() {
+        assert_eq!(Stall::None.cycles(), 0);
+        assert_eq!(Stall::DrowsyWakeup(3).cycles(), 3);
+        assert_eq!(Stall::InducedMiss(7).cycles(), 7);
+    }
+}

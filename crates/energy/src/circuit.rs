@@ -1,0 +1,314 @@
+//! The full set of circuit parameters driving the limit analysis.
+
+use crate::{
+    DynamicEnergyModel, Energy, ModePowers, ModeTimings, SubthresholdModel, TechnologyNode,
+    TransitionModel,
+};
+use serde::{Deserialize, Serialize};
+
+/// Drowsy leakage as a fraction of active leakage used by the presets.
+///
+/// The paper's OPT-Drowsy limit sits at 66.1–66.7 % across every node and
+/// both caches (Table 2), which pins this ratio at one third: an
+/// always-drowsy line saves at most `1 − 1/3` of the baseline.
+pub const PRESET_DROWSY_RATIO: f64 = 1.0 / 3.0;
+
+/// Sleep (gated-Vdd) residual leakage as a fraction of active leakage
+/// used by the presets. Gated-Vdd leaves only stacked-transistor
+/// subthreshold leakage; half a percent keeps OPT-Hybrid's data-cache
+/// ceiling at the paper's 99.1 %.
+pub const PRESET_SLEEP_RATIO: f64 = 0.005;
+
+/// Everything the interval energy equations need: static powers, ramp
+/// timings, the transition-power rule and the induced-miss refetch
+/// energy `C_D`.
+///
+/// Use [`CircuitParams::for_node`] for the paper's calibrated operating
+/// points, or [`CircuitParams::builder`] to explore arbitrary
+/// technologies with the generalized model.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_energy::{CircuitParams, ModePowers, ModeTimings, TechnologyNode};
+///
+/// // A hypothetical future node: leakier, cheaper refetch.
+/// let custom = CircuitParams::builder()
+///     .powers(ModePowers::from_ratios(0.08, 0.25, 0.002))
+///     .timings(ModeTimings::with_l2_latency(9))
+///     .refetch_energy(6.0)
+///     .build();
+/// assert!(custom.refetch_energy() > 0.0);
+/// # let _ = CircuitParams::for_node(TechnologyNode::N70);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitParams {
+    node: Option<TechnologyNode>,
+    powers: ModePowers,
+    timings: ModeTimings,
+    transition: TransitionModel,
+    refetch_energy: Energy,
+}
+
+impl CircuitParams {
+    /// The calibrated operating point for one of the paper's technology
+    /// nodes.
+    ///
+    /// Active leakage power comes from the [`SubthresholdModel`] at the
+    /// node's Table 2 voltages; drowsy and sleep powers use the preset
+    /// ratios; and the refetch energy is calibrated so the solved
+    /// drowsy–sleep inflection point reproduces Table 1 exactly (see
+    /// `DESIGN.md` for the calibration argument).
+    pub fn for_node(node: TechnologyNode) -> Self {
+        let active = SubthresholdModel::default().leakage_power(node.vdd(), node.vth());
+        let powers = ModePowers::from_ratios(active, PRESET_DROWSY_RATIO, PRESET_SLEEP_RATIO);
+        let timings = ModeTimings::paper_defaults();
+        let transition = TransitionModel::Trapezoidal;
+        let refetch_energy = calibrate_refetch_energy(
+            &powers,
+            &timings,
+            transition,
+            node.paper_drowsy_sleep_point(),
+        );
+        CircuitParams {
+            node: Some(node),
+            powers,
+            timings,
+            transition,
+            refetch_energy,
+        }
+    }
+
+    /// Starts building a custom parameter set.
+    pub fn builder() -> CircuitParamsBuilder {
+        CircuitParamsBuilder::default()
+    }
+
+    /// The technology node this parameter set was derived from, if any.
+    pub fn node(&self) -> Option<TechnologyNode> {
+        self.node
+    }
+
+    /// Static power per line in each mode.
+    pub fn powers(&self) -> &ModePowers {
+        &self.powers
+    }
+
+    /// Mode transition timings.
+    pub fn timings(&self) -> &ModeTimings {
+        &self.timings
+    }
+
+    /// How ramp energy is charged.
+    pub fn transition_model(&self) -> TransitionModel {
+        self.transition
+    }
+
+    /// Dynamic energy `C_D` of an induced miss (refetching a slept line
+    /// from L2), in pJ.
+    pub fn refetch_energy(&self) -> Energy {
+        self.refetch_energy
+    }
+}
+
+/// Computes the refetch energy that places the drowsy–sleep inflection
+/// point exactly at `target_b` cycles for the given powers and timings.
+///
+/// This inverts Eq. 3: `C_D = E_D(b) − (E_S(b) − C_D)`. It is how the
+/// per-node presets absorb the absolute scale of HotLeakage/CACTI, which
+/// are unavailable; see `DESIGN.md`.
+pub fn calibrate_refetch_energy(
+    powers: &ModePowers,
+    timings: &ModeTimings,
+    transition: TransitionModel,
+    target_b: u64,
+) -> Energy {
+    let pa = powers.active;
+    let pd = powers.drowsy;
+    let ps = powers.sleep;
+    let b = target_b as f64;
+    let e_d = transition.ramp_power(pa, pd) * timings.d1 as f64
+        + pd * (b - timings.drowsy_overhead() as f64)
+        + transition.ramp_power(pd, pa) * timings.d3 as f64;
+    let e_s_no_refetch = transition.ramp_power(pa, ps) * timings.s1 as f64
+        + ps * (b - timings.sleep_overhead() as f64)
+        + transition.ramp_power(ps, pa) * timings.s3 as f64
+        + pa * timings.s4 as f64;
+    e_d - e_s_no_refetch
+}
+
+/// Builder for [`CircuitParams`]; see [`CircuitParams::builder`].
+#[derive(Debug, Clone)]
+pub struct CircuitParamsBuilder {
+    node: Option<TechnologyNode>,
+    powers: ModePowers,
+    timings: ModeTimings,
+    transition: TransitionModel,
+    refetch_energy: Option<Energy>,
+}
+
+impl Default for CircuitParamsBuilder {
+    fn default() -> Self {
+        CircuitParamsBuilder {
+            node: None,
+            powers: ModePowers::from_ratios(0.05, PRESET_DROWSY_RATIO, PRESET_SLEEP_RATIO),
+            timings: ModeTimings::paper_defaults(),
+            transition: TransitionModel::Trapezoidal,
+            refetch_energy: None,
+        }
+    }
+}
+
+impl CircuitParamsBuilder {
+    /// Tags the parameters with a technology node (informational only).
+    pub fn derived_from(mut self, node: TechnologyNode) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Sets the per-mode static powers.
+    pub fn powers(mut self, powers: ModePowers) -> Self {
+        self.powers = powers;
+        self
+    }
+
+    /// Sets the transition timings.
+    pub fn timings(mut self, timings: ModeTimings) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// Sets the transition-power rule.
+    pub fn transition_model(mut self, transition: TransitionModel) -> Self {
+        self.transition = transition;
+        self
+    }
+
+    /// Sets the induced-miss dynamic energy directly.
+    pub fn refetch_energy(mut self, energy: Energy) -> Self {
+        self.refetch_energy = Some(energy);
+        self
+    }
+
+    /// Takes the refetch energy from a [`DynamicEnergyModel`] at the
+    /// given feature size and supply voltage.
+    pub fn refetch_from_model(mut self, model: &DynamicEnergyModel, nm: f64, vdd: f64) -> Self {
+        self.refetch_energy = Some(model.refetch_energy(nm, vdd));
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timings violate Lemma 1's ordering
+    /// ([`ModeTimings::validate`]), if the powers are not strictly
+    /// ordered, or if no refetch energy was provided.
+    pub fn build(self) -> CircuitParams {
+        self.timings
+            .validate()
+            .expect("transition timings violate Lemma 1");
+        assert!(
+            self.powers.is_strictly_ordered(),
+            "mode powers must satisfy active > drowsy > sleep >= 0"
+        );
+        let refetch_energy = self
+            .refetch_energy
+            .expect("a refetch energy is required; set refetch_energy() or refetch_from_model()");
+        assert!(refetch_energy >= 0.0, "refetch energy cannot be negative");
+        CircuitParams {
+            node: self.node,
+            powers: self.powers,
+            timings: self.timings,
+            transition: self.transition,
+            refetch_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_carry_their_node() {
+        for node in TechnologyNode::ALL {
+            let p = CircuitParams::for_node(node);
+            assert_eq!(p.node(), Some(node));
+            assert!(p.powers().is_strictly_ordered());
+            assert!(p.refetch_energy() > 0.0);
+        }
+    }
+
+    #[test]
+    fn preset_active_power_decreases_with_feature_size() {
+        let powers: Vec<f64> = TechnologyNode::ALL
+            .iter()
+            .map(|&n| CircuitParams::for_node(n).powers().active)
+            .collect();
+        for pair in powers.windows(2) {
+            assert!(
+                pair[0] > pair[1],
+                "leakage should drop at older nodes: {powers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn preset_refetch_energy_grows_with_feature_size() {
+        // Dynamic energy scales with capacitance and Vdd², so older
+        // (larger) nodes pay more per refetch.
+        let energies: Vec<f64> = TechnologyNode::ALL
+            .iter()
+            .map(|&n| CircuitParams::for_node(n).refetch_energy())
+            .collect();
+        for pair in energies.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "refetch energy should grow at older nodes: {energies:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_missing_refetch() {
+        let result = std::panic::catch_unwind(|| CircuitParams::builder().build());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "Lemma 1")]
+    fn builder_rejects_bad_timings() {
+        let mut t = ModeTimings::paper_defaults();
+        t.d1 = 100;
+        let _ = CircuitParams::builder()
+            .timings(t)
+            .refetch_energy(1.0)
+            .build();
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let p = CircuitParams::builder()
+            .derived_from(TechnologyNode::N100)
+            .powers(ModePowers::from_ratios(2.0, 0.4, 0.01))
+            .timings(ModeTimings::with_l2_latency(12))
+            .transition_model(TransitionModel::HighEndpoint)
+            .refetch_energy(50.0)
+            .build();
+        assert_eq!(p.node(), Some(TechnologyNode::N100));
+        assert_eq!(p.timings().s4, 9);
+        assert_eq!(p.transition_model(), TransitionModel::HighEndpoint);
+        assert_eq!(p.refetch_energy(), 50.0);
+    }
+
+    #[test]
+    fn calibration_is_scale_invariant_in_ratio_terms() {
+        let powers = ModePowers::from_ratios(1.0, PRESET_DROWSY_RATIO, PRESET_SLEEP_RATIO);
+        let timings = ModeTimings::paper_defaults();
+        let c1 = calibrate_refetch_energy(&powers, &timings, TransitionModel::Trapezoidal, 1057);
+        let powers2 = ModePowers::from_ratios(3.0, PRESET_DROWSY_RATIO, PRESET_SLEEP_RATIO);
+        let c2 = calibrate_refetch_energy(&powers2, &timings, TransitionModel::Trapezoidal, 1057);
+        assert!((c2 / c1 - 3.0).abs() < 1e-9);
+    }
+}

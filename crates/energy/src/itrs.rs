@@ -1,0 +1,95 @@
+//! The ITRS leakage projection behind the paper's Fig. 1.
+//!
+//! Fig. 1 plots leakage power as a fraction of total power, 1999–2009,
+//! "according to the International Technology Roadmap for
+//! Semiconductors". The roadmap itself is not redistributable, so this
+//! module encodes the widely cited shape of that projection — leakage
+//! rising from a few percent of the total in 1999 toward parity with
+//! dynamic power by the end of the decade — as an interpolated table.
+
+/// Projection anchor points: (year, leakage fraction of total power).
+const PROJECTION: [(u32, f64); 6] = [
+    (1999, 0.06),
+    (2001, 0.12),
+    (2003, 0.22),
+    (2005, 0.38),
+    (2007, 0.55),
+    (2009, 0.68),
+];
+
+/// Returns the projected leakage fraction of total power for `year`,
+/// linearly interpolating between roadmap anchor years and clamping
+/// outside 1999–2009.
+///
+/// # Examples
+///
+/// ```
+/// let f2005 = leakage_energy::itrs::leakage_fraction(2005);
+/// assert!(f2005 > leakage_energy::itrs::leakage_fraction(1999));
+/// assert!(f2005 < leakage_energy::itrs::leakage_fraction(2009));
+/// ```
+pub fn leakage_fraction(year: u32) -> f64 {
+    let (first_year, first) = PROJECTION[0];
+    let (last_year, last) = PROJECTION[PROJECTION.len() - 1];
+    if year <= first_year {
+        return first;
+    }
+    if year >= last_year {
+        return last;
+    }
+    for window in PROJECTION.windows(2) {
+        let (y0, f0) = window[0];
+        let (y1, f1) = window[1];
+        if (y0..=y1).contains(&year) {
+            let t = f64::from(year - y0) / f64::from(y1 - y0);
+            return f0 + t * (f1 - f0);
+        }
+    }
+    unreachable!("interpolation covers the full projection range")
+}
+
+/// The projection series (every year 1999–2009), as plotted in Fig. 1.
+pub fn projection() -> Vec<(u32, f64)> {
+    (1999..=2009).map(|y| (y, leakage_fraction(y))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_exact() {
+        for &(year, fraction) in &PROJECTION {
+            assert!((leakage_fraction(year) - fraction).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotonically_increasing() {
+        let series = projection();
+        assert_eq!(series.len(), 11);
+        for pair in series.windows(2) {
+            assert!(pair[0].1 < pair[1].1, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        assert_eq!(leakage_fraction(1990), leakage_fraction(1999));
+        assert_eq!(leakage_fraction(2020), leakage_fraction(2009));
+    }
+
+    #[test]
+    fn interpolates_between_anchors() {
+        let mid = leakage_fraction(2000);
+        assert!(mid > 0.06 && mid < 0.12);
+        assert!((mid - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_are_valid_probabilities() {
+        for (_, f) in projection() {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! A HotLeakage-analog subthreshold leakage model.
+
+use crate::Power;
+use serde::{Deserialize, Serialize};
+
+/// Simplified subthreshold leakage model for one cache line.
+///
+/// HotLeakage evaluates BSIM3 leakage equations per transistor; for the
+/// limit study only the per-line leakage *power* enters the analysis, so
+/// this model keeps the dominant exponential dependence:
+///
+/// ```text
+/// P_leak(Vdd, Vth) = scale · Vdd · exp(−Vth / n_vt)
+/// ```
+///
+/// `n_vt` is the subthreshold slope factor times the thermal voltage; the
+/// default of 0.07 V corresponds to an effective slope (including DIBL)
+/// of roughly `n ≈ 2.3` at 85 °C, chosen so that leakage ratios across
+/// the paper's four nodes are consistent with its Table 1 calibration
+/// (see `DESIGN.md`). `scale` anchors the absolute value: the default
+/// puts the 70 nm node at 0.05 pJ/cycle per 64-byte line.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_energy::{SubthresholdModel, TechnologyNode};
+///
+/// let model = SubthresholdModel::default();
+/// let p70 = model.leakage_power(TechnologyNode::N70.vdd(), TechnologyNode::N70.vth());
+/// let p180 = model.leakage_power(TechnologyNode::N180.vdd(), TechnologyNode::N180.vth());
+/// assert!(p70 > 5.0 * p180, "newer nodes leak far more");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubthresholdModel {
+    /// Absolute scale in pJ/cycle per volt of Vdd.
+    pub scale: f64,
+    /// Effective `n · vT` in volts.
+    pub n_vt: f64,
+}
+
+/// Anchor: active leakage per line at the 70 nm node, pJ/cycle.
+const ANCHOR_70NM_POWER: f64 = 0.05;
+
+impl Default for SubthresholdModel {
+    fn default() -> Self {
+        let n_vt = 0.07;
+        // scale · 0.9 · exp(−0.1902 / n_vt) = ANCHOR_70NM_POWER
+        let scale = ANCHOR_70NM_POWER / (0.9 * (-0.1902f64 / n_vt).exp());
+        SubthresholdModel { scale, n_vt }
+    }
+}
+
+impl SubthresholdModel {
+    /// Creates a model with explicit scale and slope parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(scale: f64, n_vt: f64) -> Self {
+        assert!(scale > 0.0 && n_vt > 0.0, "parameters must be positive");
+        SubthresholdModel { scale, n_vt }
+    }
+
+    /// Leakage power of one line at the given supply and threshold
+    /// voltages, in pJ/cycle.
+    pub fn leakage_power(&self, vdd: f64, vth: f64) -> Power {
+        self.scale * vdd * (-vth / self.n_vt).exp()
+    }
+
+    /// Leakage power at a reduced (drowsy) supply voltage, modeling the
+    /// first-order effect: leakage scales with the supply and the
+    /// threshold rises slightly from the body effect (`dibl_factor`
+    /// volts of extra Vth per volt of Vdd reduction).
+    pub fn drowsy_leakage_power(
+        &self,
+        vdd: f64,
+        vdd_low: f64,
+        vth: f64,
+        dibl_factor: f64,
+    ) -> Power {
+        let delta = (vdd - vdd_low).max(0.0);
+        self.leakage_power(vdd_low, vth + dibl_factor * delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechnologyNode;
+
+    #[test]
+    fn anchored_at_70nm() {
+        let m = SubthresholdModel::default();
+        let p = m.leakage_power(0.9, 0.1902);
+        assert!((p - ANCHOR_70NM_POWER).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_vth() {
+        let m = SubthresholdModel::default();
+        assert!(m.leakage_power(1.0, 0.2) > m.leakage_power(1.0, 0.3));
+    }
+
+    #[test]
+    fn monotone_in_vdd() {
+        let m = SubthresholdModel::default();
+        assert!(m.leakage_power(1.2, 0.25) > m.leakage_power(1.0, 0.25));
+    }
+
+    #[test]
+    fn node_ordering_matches_technology_trend() {
+        let m = SubthresholdModel::default();
+        let p: Vec<f64> = TechnologyNode::ALL
+            .iter()
+            .map(|n| m.leakage_power(n.vdd(), n.vth()))
+            .collect();
+        for pair in p.windows(2) {
+            assert!(pair[0] > pair[1], "newer nodes leak more: {p:?}");
+        }
+    }
+
+    #[test]
+    fn drowsy_voltage_cuts_leakage() {
+        let m = SubthresholdModel::default();
+        let full = m.leakage_power(0.9, 0.1902);
+        let drowsy = m.drowsy_leakage_power(0.9, 0.3, 0.1902, 0.15);
+        assert!(drowsy < full / 2.0);
+        // Zero reduction is the identity.
+        let same = m.drowsy_leakage_power(0.9, 0.9, 0.1902, 0.15);
+        assert!((same - full).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_parameters() {
+        let _ = SubthresholdModel::new(0.0, 0.07);
+    }
+}

@@ -1,0 +1,65 @@
+//! Technology, leakage-power and dynamic-energy models.
+//!
+//! This crate is the circuit-level substrate of the leakage limit study.
+//! The paper takes its per-line leakage powers from HotLeakage, its
+//! induced-miss dynamic energy from CACTI 3.0, and its mode-transition
+//! timings from Li et al. (DATE 2004). None of those artifacts are
+//! available offline, so this crate provides:
+//!
+//! * **Calibrated per-node presets** ([`CircuitParams::for_node`]) whose
+//!   solved drowsy–sleep inflection points reproduce the paper's Table 1
+//!   exactly (1057 / 5088 / 10328 / 103084 cycles at 70/100/130/180 nm),
+//! * the **interval energy equations** (Eq. 1 and Eq. 2 of the paper) in
+//!   [`IntervalEnergyModel`], together with the inflection-point solver
+//!   (Eq. 3),
+//! * a **physical subthreshold-leakage model** ([`SubthresholdModel`],
+//!   the HotLeakage analog) and a **capacitance-scaling dynamic-energy
+//!   model** ([`DynamicEnergyModel`], the CACTI analog) for extrapolating
+//!   to technology points the paper never measured, and
+//! * the **ITRS leakage-fraction projection** behind the paper's Fig. 1
+//!   ([`itrs::leakage_fraction`]).
+//!
+//! Units: energies are picojoules (pJ) per cache line, powers are pJ per
+//! clock cycle per line, durations are cycles. Only *ratios* of these
+//! quantities affect the study's results, so the absolute scale is a
+//! documented normalization (see `DESIGN.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use leakage_energy::{CircuitParams, IntervalEnergyModel, TechnologyNode};
+//!
+//! let model = IntervalEnergyModel::new(CircuitParams::for_node(TechnologyNode::N70));
+//! let points = model.inflection_points();
+//! assert_eq!(points.active_drowsy, 6);
+//! assert_eq!(points.drowsy_sleep, 1057);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod dynamic;
+mod interval_energy;
+pub mod itrs;
+mod leakage;
+mod node;
+mod power;
+mod timings;
+
+pub use circuit::{
+    calibrate_refetch_energy, CircuitParams, CircuitParamsBuilder, PRESET_DROWSY_RATIO,
+    PRESET_SLEEP_RATIO,
+};
+pub use dynamic::DynamicEnergyModel;
+pub use interval_energy::{InflectionPoints, IntervalEnergyModel};
+pub use leakage::SubthresholdModel;
+pub use node::TechnologyNode;
+pub use power::{ModePowers, PowerMode};
+pub use timings::{ModeTimings, TimingError, TransitionModel};
+
+/// Energy in picojoules.
+pub type Energy = f64;
+
+/// Power in picojoules per clock cycle (per cache line).
+pub type Power = f64;

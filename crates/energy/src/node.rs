@@ -1,0 +1,121 @@
+//! Process technology nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// A process technology node studied in the paper (its Table 1/Table 2).
+///
+/// Supply and threshold voltages are the paper's Table 2 values, which in
+/// turn come from the HotLeakage technology files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechnologyNode {
+    /// 70 nm: Vdd = 0.9 V, Vth = 0.1902 V. The paper's headline node.
+    N70,
+    /// 100 nm: Vdd = 1.0 V, Vth = 0.2607 V.
+    N100,
+    /// 130 nm: Vdd = 1.5 V, Vth = 0.3353 V.
+    N130,
+    /// 180 nm: Vdd = 2.0 V, Vth = 0.3979 V.
+    N180,
+}
+
+impl TechnologyNode {
+    /// All four nodes, smallest feature size first (the order of Table 1
+    /// and Table 2).
+    pub const ALL: [TechnologyNode; 4] = [
+        TechnologyNode::N70,
+        TechnologyNode::N100,
+        TechnologyNode::N130,
+        TechnologyNode::N180,
+    ];
+
+    /// Feature size in nanometres.
+    pub const fn feature_nm(self) -> u32 {
+        match self {
+            TechnologyNode::N70 => 70,
+            TechnologyNode::N100 => 100,
+            TechnologyNode::N130 => 130,
+            TechnologyNode::N180 => 180,
+        }
+    }
+
+    /// Supply voltage in volts (paper Table 2).
+    pub const fn vdd(self) -> f64 {
+        match self {
+            TechnologyNode::N70 => 0.9,
+            TechnologyNode::N100 => 1.0,
+            TechnologyNode::N130 => 1.5,
+            TechnologyNode::N180 => 2.0,
+        }
+    }
+
+    /// Threshold voltage in volts (paper Table 2).
+    pub const fn vth(self) -> f64 {
+        match self {
+            TechnologyNode::N70 => 0.1902,
+            TechnologyNode::N100 => 0.2607,
+            TechnologyNode::N130 => 0.3353,
+            TechnologyNode::N180 => 0.3979,
+        }
+    }
+
+    /// The drowsy–sleep inflection point the paper reports for this node
+    /// in Table 1 (in cycles); preset calibration targets this value.
+    pub const fn paper_drowsy_sleep_point(self) -> u64 {
+        match self {
+            TechnologyNode::N70 => 1057,
+            TechnologyNode::N100 => 5088,
+            TechnologyNode::N130 => 10328,
+            TechnologyNode::N180 => 103084,
+        }
+    }
+
+    /// The active–drowsy inflection point of Table 1 (6 cycles at every
+    /// node: the sum of the drowsy entry and exit transition times).
+    pub const fn paper_active_drowsy_point(self) -> u64 {
+        6
+    }
+}
+
+impl std::fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}nm", self.feature_nm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_voltages() {
+        assert_eq!(TechnologyNode::N70.vdd(), 0.9);
+        assert_eq!(TechnologyNode::N70.vth(), 0.1902);
+        assert_eq!(TechnologyNode::N180.vdd(), 2.0);
+        assert_eq!(TechnologyNode::N180.vth(), 0.3979);
+    }
+
+    #[test]
+    fn voltages_scale_monotonically() {
+        for pair in TechnologyNode::ALL.windows(2) {
+            assert!(pair[0].vdd() < pair[1].vdd());
+            assert!(pair[0].vth() < pair[1].vth());
+            assert!(pair[0].feature_nm() < pair[1].feature_nm());
+        }
+    }
+
+    #[test]
+    fn table1_targets() {
+        assert_eq!(TechnologyNode::N70.paper_drowsy_sleep_point(), 1057);
+        assert_eq!(TechnologyNode::N100.paper_drowsy_sleep_point(), 5088);
+        assert_eq!(TechnologyNode::N130.paper_drowsy_sleep_point(), 10328);
+        assert_eq!(TechnologyNode::N180.paper_drowsy_sleep_point(), 103084);
+        for node in TechnologyNode::ALL {
+            assert_eq!(node.paper_active_drowsy_point(), 6);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TechnologyNode::N70.to_string(), "70nm");
+    }
+}

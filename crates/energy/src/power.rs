@@ -1,0 +1,149 @@
+//! Operating modes and their static power draw.
+
+use crate::Power;
+use serde::{Deserialize, Serialize};
+
+/// The three operating modes a cache line can be in (paper §2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// Full supply voltage; the line is immediately accessible.
+    Active,
+    /// Reduced supply voltage (state-preserving, Kim et al.'s drowsy
+    /// cache). Data survives but a 1–2 cycle wakeup is needed before an
+    /// access.
+    Drowsy,
+    /// Supply gated off (state-destroying, Powell et al.'s gated-Vdd).
+    /// Near-zero leakage, but the data is lost and must be refetched.
+    Sleep,
+}
+
+impl PowerMode {
+    /// All modes, highest power first.
+    pub const ALL: [PowerMode; 3] = [PowerMode::Active, PowerMode::Drowsy, PowerMode::Sleep];
+
+    /// Whether data stored in the line survives this mode.
+    pub const fn preserves_state(self) -> bool {
+        !matches!(self, PowerMode::Sleep)
+    }
+}
+
+impl std::fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PowerMode::Active => "active",
+            PowerMode::Drowsy => "drowsy",
+            PowerMode::Sleep => "sleep",
+        })
+    }
+}
+
+/// Static (leakage) power drawn by one cache line in each mode,
+/// in pJ/cycle.
+///
+/// The paper's results constrain the *ratios*: OPT-Drowsy savings of
+/// ~66.5% across every node and both caches pin `drowsy/active ≈ 1/3`,
+/// and the near-total savings of OPT-Hybrid on the data cache pin
+/// `sleep/active` below about 1%.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModePowers {
+    /// Leakage power at full Vdd.
+    pub active: Power,
+    /// Leakage power at the reduced drowsy voltage.
+    pub drowsy: Power,
+    /// Residual leakage with the supply gated.
+    pub sleep: Power,
+}
+
+impl ModePowers {
+    /// Creates a power table from the active power and the two ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is not strictly positive, or the ratios do not
+    /// satisfy `0 <= sleep_ratio < drowsy_ratio < 1` (Lemma 1's ordering
+    /// of the modes requires strictly decreasing powers).
+    pub fn from_ratios(active: Power, drowsy_ratio: f64, sleep_ratio: f64) -> Self {
+        assert!(active > 0.0, "active leakage power must be positive");
+        assert!(
+            (0.0..1.0).contains(&drowsy_ratio) && drowsy_ratio > sleep_ratio,
+            "need 0 <= sleep_ratio < drowsy_ratio < 1"
+        );
+        assert!(sleep_ratio >= 0.0, "sleep ratio cannot be negative");
+        ModePowers {
+            active,
+            drowsy: active * drowsy_ratio,
+            sleep: active * sleep_ratio,
+        }
+    }
+
+    /// Power drawn while resting in `mode`.
+    pub fn of(&self, mode: PowerMode) -> Power {
+        match mode {
+            PowerMode::Active => self.active,
+            PowerMode::Drowsy => self.drowsy,
+            PowerMode::Sleep => self.sleep,
+        }
+    }
+
+    /// `drowsy / active`.
+    pub fn drowsy_ratio(&self) -> f64 {
+        self.drowsy / self.active
+    }
+
+    /// `sleep / active`.
+    pub fn sleep_ratio(&self) -> f64 {
+        self.sleep / self.active
+    }
+
+    /// Checks the strict power ordering `active > drowsy > sleep >= 0`
+    /// that the optimality theorem relies on.
+    pub fn is_strictly_ordered(&self) -> bool {
+        self.active > self.drowsy && self.drowsy > self.sleep && self.sleep >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_roundtrip() {
+        let p = ModePowers::from_ratios(0.05, 1.0 / 3.0, 0.005);
+        assert!((p.drowsy_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.sleep_ratio() - 0.005).abs() < 1e-12);
+        assert!(p.is_strictly_ordered());
+    }
+
+    #[test]
+    fn of_selects_mode() {
+        let p = ModePowers::from_ratios(1.0, 0.5, 0.1);
+        assert_eq!(p.of(PowerMode::Active), 1.0);
+        assert_eq!(p.of(PowerMode::Drowsy), 0.5);
+        assert!((p.of(PowerMode::Sleep) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_preservation() {
+        assert!(PowerMode::Active.preserves_state());
+        assert!(PowerMode::Drowsy.preserves_state());
+        assert!(!PowerMode::Sleep.preserves_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_active() {
+        let _ = ModePowers::from_ratios(0.0, 0.3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drowsy_ratio")]
+    fn rejects_inverted_ratios() {
+        let _ = ModePowers::from_ratios(1.0, 0.1, 0.3);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(PowerMode::Sleep.to_string(), "sleep");
+        assert_eq!(PowerMode::ALL.len(), 3);
+    }
+}

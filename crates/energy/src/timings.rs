@@ -1,0 +1,212 @@
+//! Mode-transition timings (the paper's Fig. 4 durations).
+
+use serde::{Deserialize, Serialize};
+
+/// How much leakage power is charged while the supply voltage ramps
+/// between two levels.
+///
+/// The paper's diagrams (Fig. 4) show a linear voltage ramp; the energy
+/// charged during the ramp depends on how the power is integrated. The
+/// default trapezoidal rule charges the mean of the endpoint powers; the
+/// other variants bound it from above and below and exist for the
+/// transition-model ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TransitionModel {
+    /// Mean of source and destination power over the ramp (default).
+    #[default]
+    Trapezoidal,
+    /// The whole ramp is charged at the *higher* of the two powers
+    /// (pessimistic bound).
+    HighEndpoint,
+    /// The whole ramp is charged at the *lower* of the two powers
+    /// (optimistic bound).
+    LowEndpoint,
+}
+
+impl TransitionModel {
+    /// Power charged during a ramp between power levels `from` and `to`.
+    pub fn ramp_power(self, from: f64, to: f64) -> f64 {
+        match self {
+            TransitionModel::Trapezoidal => 0.5 * (from + to),
+            TransitionModel::HighEndpoint => from.max(to),
+            TransitionModel::LowEndpoint => from.min(to),
+        }
+    }
+}
+
+/// The fixed durations of the sleep and drowsy mode transitions, in
+/// cycles, following the paper's Fig. 4:
+///
+/// * `s1` — high → off ramp entering sleep,
+/// * `s3` — off → high ramp leaving sleep,
+/// * `s4` — extra wait for the L2 refetch (`D − s3` for L2 latency `D`),
+/// * `d1` — high → low ramp entering drowsy,
+/// * `d3` — low → high wakeup leaving drowsy.
+///
+/// (`s2` and `d2` are the variable rest portions of an interval and are
+/// derived from the interval length.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeTimings {
+    /// Cycles to ramp from full Vdd to gated-off.
+    pub s1: u64,
+    /// Cycles to ramp from gated-off back to full Vdd.
+    pub s3: u64,
+    /// Residual refetch latency after the wakeup ramp (`D − s3`).
+    pub s4: u64,
+    /// Cycles to ramp from full Vdd down to the drowsy voltage.
+    pub d1: u64,
+    /// Cycles to wake from the drowsy voltage back to full Vdd.
+    pub d3: u64,
+}
+
+/// Errors from validating [`ModeTimings`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingError {
+    /// Lemma 1 requires the drowsy entry ramp to be faster than the sleep
+    /// entry ramp (`d1 < s1`).
+    DrowsyEntrySlower,
+    /// Lemma 1 requires the drowsy wakeup to be faster than the sleep
+    /// wakeup (`d3 < s3` — smaller voltage swing, less charging).
+    DrowsyExitSlower,
+    /// Ramps cannot take zero time.
+    ZeroDuration,
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::DrowsyEntrySlower => {
+                write!(f, "drowsy entry (d1) must be faster than sleep entry (s1)")
+            }
+            TimingError::DrowsyExitSlower => write!(
+                f,
+                "drowsy wakeup (d3) must not be slower than sleep wakeup (s3)"
+            ),
+            TimingError::ZeroDuration => write!(f, "transition durations must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+impl ModeTimings {
+    /// The paper's durations (§4.2, citing Li et al. DATE 2004):
+    /// `s1 = 30`, `s3 = d1 = d3 = 3`, `s4 = D − s3 = 4` with the 7-cycle
+    /// L2 of the studied configuration.
+    pub const fn paper_defaults() -> Self {
+        ModeTimings {
+            s1: 30,
+            s3: 3,
+            s4: 4,
+            d1: 3,
+            d3: 3,
+        }
+    }
+
+    /// Builds timings for a different L2 (refetch) latency, keeping the
+    /// paper's ramp durations. `s4` becomes `l2_latency − s3`, saturating
+    /// at zero if the L2 responds faster than the wakeup ramp.
+    pub const fn with_l2_latency(l2_latency: u64) -> Self {
+        let base = ModeTimings::paper_defaults();
+        ModeTimings {
+            s4: l2_latency.saturating_sub(base.s3),
+            ..base
+        }
+    }
+
+    /// Validates Lemma 1's duration ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint. `d3 == s3` is accepted (the
+    /// paper itself uses `d3 = s3 = 3`); the lemma's conclusion `a < b`
+    /// still holds because the refetch cost keeps the sleep curve above
+    /// the drowsy curve at small intervals.
+    pub fn validate(&self) -> Result<(), TimingError> {
+        if self.s1 == 0 || self.s3 == 0 || self.d1 == 0 || self.d3 == 0 {
+            return Err(TimingError::ZeroDuration);
+        }
+        if self.d1 >= self.s1 {
+            return Err(TimingError::DrowsyEntrySlower);
+        }
+        if self.d3 > self.s3 {
+            return Err(TimingError::DrowsyExitSlower);
+        }
+        Ok(())
+    }
+
+    /// Total sleep-mode overhead duration `s1 + s3 + s4`: the shortest
+    /// interval that can physically hold a sleep transition.
+    pub const fn sleep_overhead(&self) -> u64 {
+        self.s1 + self.s3 + self.s4
+    }
+
+    /// Total drowsy-mode overhead duration `d1 + d3`. This *is* the
+    /// active–drowsy inflection point `a` (paper Definition 3).
+    pub const fn drowsy_overhead(&self) -> u64 {
+        self.d1 + self.d3
+    }
+}
+
+impl Default for ModeTimings {
+    fn default() -> Self {
+        ModeTimings::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_4_2() {
+        let t = ModeTimings::paper_defaults();
+        assert_eq!((t.s1, t.s3, t.s4, t.d1, t.d3), (30, 3, 4, 3, 3));
+        assert_eq!(t.drowsy_overhead(), 6); // Table 1's active-drowsy point
+        assert_eq!(t.sleep_overhead(), 37);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn l2_latency_controls_s4() {
+        assert_eq!(ModeTimings::with_l2_latency(7).s4, 4);
+        assert_eq!(ModeTimings::with_l2_latency(20).s4, 17);
+        assert_eq!(ModeTimings::with_l2_latency(2).s4, 0, "saturates");
+    }
+
+    #[test]
+    fn validation_catches_lemma1_violations() {
+        let mut t = ModeTimings::paper_defaults();
+        t.d1 = 31;
+        assert_eq!(t.validate(), Err(TimingError::DrowsyEntrySlower));
+
+        let mut t = ModeTimings::paper_defaults();
+        t.d3 = 5;
+        assert_eq!(t.validate(), Err(TimingError::DrowsyExitSlower));
+
+        let mut t = ModeTimings::paper_defaults();
+        t.s1 = 0;
+        assert_eq!(t.validate(), Err(TimingError::ZeroDuration));
+    }
+
+    #[test]
+    fn transition_models_order() {
+        let (lo, hi) = (0.2, 1.0);
+        let trap = TransitionModel::Trapezoidal.ramp_power(hi, lo);
+        assert!((trap - 0.6).abs() < 1e-12);
+        assert_eq!(TransitionModel::HighEndpoint.ramp_power(hi, lo), 1.0);
+        assert_eq!(TransitionModel::LowEndpoint.ramp_power(lo, hi), 0.2);
+        assert!(TransitionModel::LowEndpoint.ramp_power(hi, lo) <= trap);
+        assert!(trap <= TransitionModel::HighEndpoint.ramp_power(hi, lo));
+    }
+
+    #[test]
+    fn default_transition_model_is_trapezoidal() {
+        assert_eq!(TransitionModel::default(), TransitionModel::Trapezoidal);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TimingError::DrowsyEntrySlower.to_string().contains("d1"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests on the circuit-level models.
+
+use leakage_energy::{
+    calibrate_refetch_energy, CircuitParams, DynamicEnergyModel, IntervalEnergyModel, ModePowers,
+    ModeTimings, SubthresholdModel, TransitionModel,
+};
+use proptest::prelude::*;
+
+fn arb_powers() -> impl Strategy<Value = ModePowers> {
+    (0.001f64..100.0, 0.05f64..0.9, 0.0f64..0.04)
+        .prop_map(|(active, dr, sr)| ModePowers::from_ratios(active, dr.max(sr + 0.01), sr))
+}
+
+fn arb_timings() -> impl Strategy<Value = ModeTimings> {
+    (1u64..5, 1u64..40, 0u64..20).prop_map(|(d, s1_extra, s4)| ModeTimings {
+        s1: d + s1_extra,
+        s3: d,
+        s4,
+        d1: d,
+        d3: d,
+    })
+}
+
+fn arb_transition() -> impl Strategy<Value = TransitionModel> {
+    prop::sample::select(vec![
+        TransitionModel::Trapezoidal,
+        TransitionModel::HighEndpoint,
+        TransitionModel::LowEndpoint,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Calibration is the inverse of the inflection solve: aiming the
+    /// refetch energy at any reachable target recovers that target.
+    #[test]
+    fn calibration_roundtrips_the_solver(
+        powers in arb_powers(),
+        timings in arb_timings(),
+        transition in arb_transition(),
+        target in 200u64..10_000_000,
+    ) {
+        // The target must be reachable: beyond the feasibility clamp and
+        // with a nonnegative refetch energy.
+        prop_assume!(target > timings.sleep_overhead() * 2);
+        let refetch = calibrate_refetch_energy(&powers, &timings, transition, target);
+        prop_assume!(refetch >= 0.0);
+        let params = CircuitParams::builder()
+            .powers(powers)
+            .timings(timings)
+            .transition_model(transition)
+            .refetch_energy(refetch)
+            .build();
+        let solved = IntervalEnergyModel::new(params).inflection_points().drowsy_sleep;
+        prop_assert!(
+            solved.abs_diff(target) <= 1,
+            "target {target} vs solved {solved}"
+        );
+    }
+
+    /// The solved inflection point is scale-free: multiplying every
+    /// power and energy by the same factor leaves it unchanged.
+    #[test]
+    fn inflection_point_is_scale_free(
+        powers in arb_powers(),
+        timings in arb_timings(),
+        refetch_units in 1.0f64..10_000.0,
+        factor in 0.01f64..1000.0,
+    ) {
+        let refetch = refetch_units * powers.active;
+        let base = CircuitParams::builder()
+            .powers(powers)
+            .timings(timings)
+            .refetch_energy(refetch)
+            .build();
+        let scaled_powers =
+            ModePowers::from_ratios(powers.active * factor, powers.drowsy_ratio(), powers.sleep_ratio());
+        let scaled = CircuitParams::builder()
+            .powers(scaled_powers)
+            .timings(timings)
+            .refetch_energy(refetch * factor)
+            .build();
+        let a = IntervalEnergyModel::new(base).drowsy_sleep_point_exact();
+        let b = IntervalEnergyModel::new(scaled).drowsy_sleep_point_exact();
+        prop_assert!((a - b).abs() <= a.abs() * 1e-6 + 1e-6, "{a} vs {b}");
+    }
+
+    /// More refetch energy can only push the crossover later.
+    #[test]
+    fn inflection_point_monotone_in_refetch(
+        powers in arb_powers(),
+        timings in arb_timings(),
+        refetch_units in 1.0f64..1_000.0,
+        extra_units in 0.1f64..1_000.0,
+    ) {
+        let mk = |units: f64| {
+            let params = CircuitParams::builder()
+                .powers(powers)
+                .timings(timings)
+                .refetch_energy(units * powers.active)
+                .build();
+            IntervalEnergyModel::new(params).drowsy_sleep_point_exact()
+        };
+        prop_assert!(mk(refetch_units + extra_units) >= mk(refetch_units));
+    }
+
+    /// Subthreshold leakage is monotone: leakier with higher Vdd, lower
+    /// Vth, and the drowsy voltage always helps.
+    #[test]
+    fn subthreshold_monotonicity(
+        vdd in 0.5f64..2.5,
+        vth in 0.05f64..0.5,
+        dv in 0.01f64..0.5,
+        vdd_low_frac in 0.1f64..0.9,
+    ) {
+        let model = SubthresholdModel::default();
+        prop_assert!(model.leakage_power(vdd + dv, vth) > model.leakage_power(vdd, vth));
+        prop_assert!(model.leakage_power(vdd, vth) > model.leakage_power(vdd, vth + dv));
+        let drowsy = model.drowsy_leakage_power(vdd, vdd * vdd_low_frac, vth, 0.15);
+        prop_assert!(drowsy < model.leakage_power(vdd, vth));
+    }
+
+    /// Dynamic refetch energy scales as nm · Vdd².
+    #[test]
+    fn dynamic_energy_scaling_law(
+        nm in 10.0f64..500.0,
+        vdd in 0.3f64..3.0,
+        k in 0.001f64..10.0,
+    ) {
+        let model = DynamicEnergyModel::new(k);
+        let base = model.refetch_energy(nm, vdd);
+        prop_assert!((model.refetch_energy(2.0 * nm, vdd) - 2.0 * base).abs() < base * 1e-9);
+        prop_assert!(
+            (model.refetch_energy(nm, 2.0 * vdd) - 4.0 * base).abs() < 4.0 * base * 1e-9
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale test|small|paper|<cycles>] [--csv] [EXPERIMENT ...]
+//! ```
+//!
+//! With no experiment names, everything is regenerated. Experiments:
+//! the paper's artifacts (`table1 table2 table3 fig1 fig7 fig8 fig9
+//! fig10`), the sensitivity ablations (`ablation-dead ablation-power
+//! ablation-transition ablation-l2 ablation-geometry
+//! ablation-writeback calibration`), and the extensions
+//! (`prefetch-frontier implementable online dri diagnostics`).
+//! `--csv` prints CSV, `--out DIR` writes per-table CSV files,
+//! `--svg DIR` renders the figures, and `--report FILE` writes one
+//! combined Markdown report.
+
+use leakage_experiments::{
+    ablations, fig1, fig10, fig3, fig7, fig8, fig9, implementable, online, profile_suite,
+    table1, table2, table3, BenchmarkProfile, Table,
+};
+use leakage_workloads::Scale;
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablation-dead",
+    "ablation-power",
+    "ablation-transition",
+    "prefetch-frontier",
+    "implementable",
+    "online",
+    "dri",
+    "ablation-l2",
+    "ablation-geometry",
+    "ablation-writeback",
+    "ablation-line-centric",
+    "diagnostics",
+    "calibration",
+];
+
+const NEEDS_PROFILES: &[&str] = &[
+    "ablation-writeback",
+    "diagnostics",
+    "fig3",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablation-dead",
+    "ablation-power",
+    "ablation-transition",
+    "prefetch-frontier",
+    "implementable",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale test|small|paper|<cycles>] [--csv] [--svg DIR] [--out DIR] \
+         [EXPERIMENT ...]"
+    );
+    eprintln!("experiments: {}", ALL.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut csv = false;
+    let mut svg_dir: Option<std::path::PathBuf> = None;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut report_path: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                scale = match value.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    number => match number.parse::<u64>() {
+                        Ok(cycles) => Scale::Custom(cycles),
+                        Err(_) => usage(),
+                    },
+                };
+            }
+            "--csv" => csv = true,
+            "--svg" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                svg_dir = Some(std::path::PathBuf::from(value));
+            }
+            "--out" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                out_dir = Some(std::path::PathBuf::from(value));
+            }
+            "--report" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                report_path = Some(std::path::PathBuf::from(value));
+            }
+            "--help" | "-h" => usage(),
+            name if ALL.contains(&name) => wanted.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    if wanted.is_empty() {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let profiles: Option<Vec<BenchmarkProfile>> =
+        if svg_dir.is_some() || wanted.iter().any(|w| NEEDS_PROFILES.contains(&w.as_str())) {
+            eprintln!(
+                "profiling the six-benchmark suite at {} cycles each...",
+                scale.cycles()
+            );
+            let start = std::time::Instant::now();
+            let profiles = profile_suite(scale);
+            eprintln!("profiled in {:.1}s", start.elapsed().as_secs_f64());
+            Some(profiles)
+        } else {
+            None
+        };
+    let profiles = profiles.as_deref();
+
+    if let Some(dir) = &out_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {err}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let slug = |title: &str| -> String {
+        title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .take(6)
+            .collect::<Vec<_>>()
+            .join("-")
+    };
+    let report = std::cell::RefCell::new(String::new());
+    let emit = |table: &Table| {
+        if report_path.is_some() {
+            let mut buffer = report.borrow_mut();
+            buffer.push_str(&format!("## {}\n\n", table.title()));
+            buffer.push_str(&table.to_markdown());
+            buffer.push('\n');
+        }
+        if csv {
+            println!("# {}", table.title());
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.csv", slug(table.title())));
+            if let Err(err) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    };
+    let emit_pair = |(a, b): (Table, Table)| {
+        emit(&a);
+        emit(&b);
+    };
+
+    for name in &wanted {
+        let profiles = |experiment: &str| {
+            profiles.unwrap_or_else(|| panic!("{experiment} requires profiles"))
+        };
+        match name.as_str() {
+            "table1" => emit(&table1::generate()),
+            "table2" => emit(&table2::generate(profiles("table2"))),
+            "table3" => emit(&table3::generate()),
+            "fig1" => emit(&fig1::generate()),
+            "fig3" => emit_pair(fig3::generate(profiles("fig3"))),
+            "fig7" => emit_pair(fig7::generate(profiles("fig7"))),
+            "fig8" => emit_pair(fig8::generate(profiles("fig8"))),
+            "fig9" => emit_pair(fig9::generate(profiles("fig9"))),
+            "fig10" => emit(&fig10::generate()),
+            "ablation-dead" => emit(&ablations::dead_intervals(profiles("ablation-dead"))),
+            "ablation-power" => emit(&ablations::power_ratios(profiles("ablation-power"))),
+            "ablation-transition" => {
+                emit(&ablations::transition_models(profiles("ablation-transition")))
+            }
+            "prefetch-frontier" => {
+                emit(&ablations::prefetch_frontier(profiles("prefetch-frontier")))
+            }
+            "implementable" => emit_pair(implementable::generate(profiles("implementable"))),
+            "online" => emit(&online::generate(scale)),
+            "dri" => emit(&online::dri_table(scale)),
+            "ablation-l2" => emit(&ablations::l2_limits(scale)),
+            "ablation-geometry" => emit(&ablations::geometry(scale)),
+            "ablation-writeback" => emit(&ablations::writebacks(profiles("ablation-writeback"))),
+            "ablation-line-centric" => emit(&ablations::line_centric(scale)),
+            "diagnostics" => {
+                let p = profiles("diagnostics");
+                emit_pair(leakage_experiments::diagnostics::interval_stats(p));
+                emit_pair(leakage_experiments::diagnostics::census(p));
+                emit(&leakage_experiments::diagnostics::footprints(scale));
+            }
+            "calibration" => emit(&ablations::calibration_consistency()),
+            _ => unreachable!("validated above"),
+        }
+    }
+
+    if let Some(path) = &report_path {
+        let header = format!(
+            "# cache-leakage-limits reproduction report\n\n\
+             Scale: {} cycles per benchmark.\n\n",
+            scale.cycles()
+        );
+        let body = report.into_inner();
+        if let Err(err) = std::fs::write(path, header + &body) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote report to {}", path.display());
+    }
+
+    if let Some(dir) = svg_dir {
+        let profiles = profiles.expect("profiles exist when --svg is set");
+        match leakage_experiments::figures::write_all(&dir, profiles) {
+            Ok(files) => eprintln!("wrote {} figures to {}", files.len(), dir.display()),
+            Err(err) => {
+                eprintln!("failed to write figures: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared evaluation helpers for the experiment modules.
+
+use crate::BenchmarkProfile;
+use leakage_cachesim::Level1;
+use leakage_core::{EnergyContext, LeakagePolicy};
+
+/// Per-benchmark saving percentages of one policy on one cache side,
+/// in profile order.
+pub(crate) fn per_benchmark_savings(
+    ctx: &EnergyContext,
+    profiles: &[BenchmarkProfile],
+    side: Level1,
+    policy: &dyn LeakagePolicy,
+) -> Vec<f64> {
+    profiles
+        .iter()
+        .map(|p| ctx.evaluate(policy, &p.side(side).dist).saving_percent())
+        .collect()
+}
+
+/// Arithmetic mean of per-benchmark saving percentages (the paper's
+/// "average" bars).
+pub(crate) fn average_saving(
+    ctx: &EnergyContext,
+    profiles: &[BenchmarkProfile],
+    side: Level1,
+    policy: &dyn LeakagePolicy,
+) -> f64 {
+    let savings = per_benchmark_savings(ctx, profiles, side, policy);
+    mean(&savings)
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub(crate) fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

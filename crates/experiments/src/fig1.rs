@@ -1,0 +1,34 @@
+//! Fig. 1: the ITRS leakage-fraction projection.
+
+use crate::render::pct;
+use crate::Table;
+use leakage_energy::itrs;
+
+/// Regenerates Fig. 1's series: projected leakage power as a percentage
+/// of total power, 1999–2009.
+pub fn generate() -> Table {
+    let mut table = Table::new(
+        "Figure 1: projected leakage fraction of total power (ITRS trend)",
+        vec!["Year".to_string(), "Leakage/Total (%)".to_string()],
+    );
+    for (year, fraction) in itrs::projection() {
+        table.push_row(vec![year.to_string(), pct(fraction * 100.0)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_years_increasing() {
+        let table = generate();
+        assert_eq!(table.rows().len(), 11);
+        assert_eq!(table.rows()[0][0], "1999");
+        assert_eq!(table.rows()[10][0], "2009");
+        let first: f64 = table.rows()[0][1].parse().unwrap();
+        let last: f64 = table.rows()[10][1].parse().unwrap();
+        assert!(last > first);
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 7: hybrid vs sleep across minimum-sleep-interval floors.
+
+use crate::eval::average_saving;
+use crate::render::pct;
+use crate::{BenchmarkProfile, Table, HEADLINE_NODE};
+use leakage_cachesim::Level1;
+use leakage_core::policy::{OptHybrid, OptSleep};
+use leakage_core::{CircuitParams, EnergyContext, RefetchAccounting};
+
+/// The paper's x-axis: minimum interval lengths eligible for sleep,
+/// from the 70 nm inflection point up to 10 000 cycles.
+pub const SLEEP_FLOORS: [u64; 12] = [
+    1057, 1200, 1500, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000,
+];
+
+/// The two Fig. 7 series for one cache side: for each sleep floor, the
+/// average savings of sleep-only and of the hybrid.
+pub fn series(profiles: &[BenchmarkProfile], side: Level1) -> Vec<(u64, f64, f64)> {
+    let ctx = EnergyContext::new(
+        CircuitParams::for_node(HEADLINE_NODE),
+        RefetchAccounting::PaperStrict,
+    );
+    SLEEP_FLOORS
+        .iter()
+        .map(|&floor| {
+            let sleep = average_saving(&ctx, profiles, side, &OptSleep::new(floor));
+            let hybrid = average_saving(&ctx, profiles, side, &OptHybrid::with_min_sleep(floor));
+            (floor, sleep, hybrid)
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 7 as two tables (instruction cache, data cache).
+pub fn generate(profiles: &[BenchmarkProfile]) -> (Table, Table) {
+    let make = |side: Level1, label: &str| {
+        let mut table = Table::new(
+            format!("Figure 7{label}: hybrid vs sleep, 70nm (savings %)"),
+            vec![
+                "Min sleep interval".to_string(),
+                "Sleep".to_string(),
+                "Sleep+Drowsy".to_string(),
+            ],
+        );
+        for (floor, sleep, hybrid) in series(profiles, side) {
+            table.push_row(vec![floor.to_string(), pct(sleep), pct(hybrid)]);
+        }
+        table
+    };
+    (
+        make(Level1::Instruction, "(a) Instruction Cache"),
+        make(Level1::Data, "(b) Data Cache"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile_benchmark;
+    use leakage_workloads::{applu, Scale};
+
+    #[test]
+    fn hybrid_dominates_and_gap_shrinks_toward_inflection() {
+        let profiles = vec![profile_benchmark(&mut applu(Scale::Test))];
+        let series = series(&profiles, Level1::Instruction);
+        assert_eq!(series.len(), SLEEP_FLOORS.len());
+        for &(floor, sleep, hybrid) in &series {
+            assert!(
+                hybrid + 1e-9 >= sleep,
+                "hybrid must dominate at floor {floor}"
+            );
+        }
+        // The hybrid's advantage grows with the floor (paper's point:
+        // drowsy matters more when sleeping is conservative).
+        let first_gap = series.first().unwrap().2 - series.first().unwrap().1;
+        let last_gap = series.last().unwrap().2 - series.last().unwrap().1;
+        assert!(last_gap + 1e-9 >= first_gap);
+        // Sleep-only savings fall as the floor rises.
+        for pair in series.windows(2) {
+            assert!(pair[0].1 + 1e-9 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let profiles = vec![profile_benchmark(&mut applu(Scale::Test))];
+        let (i, d) = generate(&profiles);
+        assert!(i.to_text().contains("Instruction"));
+        assert!(d.to_text().contains("Data"));
+        assert_eq!(i.rows().len(), 12);
+    }
+}

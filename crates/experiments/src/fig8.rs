@@ -1,0 +1,111 @@
+//! Fig. 8: per-benchmark comparison of all management schemes.
+
+use crate::eval::{mean, per_benchmark_savings};
+use crate::render::pct;
+use crate::{BenchmarkProfile, Table, HEADLINE_NODE};
+use leakage_cachesim::Level1;
+use leakage_core::policy::{
+    DecaySleep, LeakagePolicy, OptDrowsy, OptHybrid, OptSleep, PrefetchGuided, PrefetchScheme,
+};
+use leakage_core::{CircuitParams, EnergyContext, RefetchAccounting};
+
+/// The six schemes of Fig. 8, in the paper's bar order.
+pub fn schemes() -> Vec<Box<dyn LeakagePolicy>> {
+    vec![
+        Box::new(OptDrowsy),
+        Box::new(DecaySleep::ten_k()),
+        Box::new(OptSleep::ten_k()),
+        Box::new(OptHybrid::new()),
+        Box::new(PrefetchGuided::new(PrefetchScheme::A)),
+        Box::new(PrefetchGuided::new(PrefetchScheme::B)),
+    ]
+}
+
+/// Fig. 8's numbers for one cache side: per scheme, the per-benchmark
+/// savings plus the suite average (last entry).
+pub fn series(profiles: &[BenchmarkProfile], side: Level1) -> Vec<(String, Vec<f64>)> {
+    let ctx = EnergyContext::new(
+        CircuitParams::for_node(HEADLINE_NODE),
+        RefetchAccounting::PaperStrict,
+    );
+    schemes()
+        .iter()
+        .map(|policy| {
+            let mut savings = per_benchmark_savings(&ctx, profiles, side, policy.as_ref());
+            savings.push(mean(&savings));
+            (policy.name().to_string(), savings)
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 8 as two tables (instruction cache, data cache):
+/// one row per benchmark plus the average, one column per scheme.
+pub fn generate(profiles: &[BenchmarkProfile]) -> (Table, Table) {
+    let make = |side: Level1, label: &str| {
+        let data = series(profiles, side);
+        let mut headers = vec!["Benchmark".to_string()];
+        headers.extend(data.iter().map(|(name, _)| name.clone()));
+        let mut table = Table::new(
+            format!("Figure 8{label}: leakage power savings by scheme, 70nm (%)"),
+            headers,
+        );
+        let mut names: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
+        names.push("average".to_string());
+        for (row_index, name) in names.iter().enumerate() {
+            let mut row = vec![name.clone()];
+            row.extend(data.iter().map(|(_, savings)| pct(savings[row_index])));
+            table.push_row(row);
+        }
+        table
+    };
+    (
+        make(Level1::Instruction, "(a) Instruction Cache"),
+        make(Level1::Data, "(b) Data Cache"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile_benchmark;
+    use leakage_workloads::{gzip, mesa, Scale};
+
+    fn profiles() -> Vec<BenchmarkProfile> {
+        vec![
+            profile_benchmark(&mut gzip(Scale::Test)),
+            profile_benchmark(&mut mesa(Scale::Test)),
+        ]
+    }
+
+    #[test]
+    fn scheme_dominance_ordering() {
+        let profiles = profiles();
+        for side in [Level1::Instruction, Level1::Data] {
+            let data = series(&profiles, side);
+            let avg: std::collections::HashMap<&str, f64> = data
+                .iter()
+                .map(|(name, s)| (name.as_str(), *s.last().unwrap()))
+                .collect();
+            // The oracle hybrid bounds everything (paper Theorem 1).
+            for (name, saving) in &avg {
+                assert!(
+                    avg["OPT-Hybrid"] + 1e-9 >= *saving,
+                    "{side}: OPT-Hybrid must dominate {name}"
+                );
+            }
+            // OPT-Sleep(10K) dominates the implementable decay version.
+            assert!(avg["OPT-Sleep(10K)"] + 1e-9 >= avg["Sleep(10K)"]);
+            // Prefetch-B saves at least as much as Prefetch-A.
+            assert!(avg["Prefetch-B"] + 1e-9 >= avg["Prefetch-A"]);
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let profiles = profiles();
+        let (i, _) = generate(&profiles);
+        assert_eq!(i.rows().len(), 3); // 2 benchmarks + average
+        assert_eq!(i.headers().len(), 7); // name + 6 schemes
+        assert_eq!(i.rows()[2][0], "average");
+    }
+}

@@ -1,0 +1,415 @@
+//! The end-to-end profiling pipeline.
+
+use leakage_cachesim::{CacheStats, Hierarchy, HierarchyConfig, Level1};
+use leakage_intervals::{CompactIntervalDist, IntervalExtractor, WakeHints};
+use leakage_prefetch::{PrefetchAnalyzer, PrefetchStats, WakeTrigger};
+use leakage_trace::{Cycle, LineAddr, MemoryAccess, TraceSink, TraceSource};
+use leakage_workloads::{suite, Benchmark, Scale};
+use serde::{Deserialize, Serialize};
+
+/// Everything the experiments need to know about one cache of one
+/// benchmark run: the interval distribution (the sufficient statistic
+/// for every policy) plus bookkeeping counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheProfile {
+    /// Interval distribution, by (length, kind, wake-hints) class.
+    pub dist: CompactIntervalDist,
+    /// Number of frames in the cache.
+    pub num_frames: u32,
+    /// Trace length in cycles.
+    pub total_cycles: u64,
+    /// Prefetch trigger counters.
+    pub prefetch: PrefetchStats,
+    /// Hit/miss counters.
+    pub cache: CacheStats,
+}
+
+impl CacheProfile {
+    /// The coverage invariant: interval cycle mass equals
+    /// `frames × cycles`. Violations indicate an extraction bug.
+    pub fn covers_timeline(&self) -> bool {
+        self.dist.total_cycles() == u64::from(self.num_frames) * self.total_cycles
+    }
+}
+
+/// Profiles of both L1 caches for one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (e.g. `"gzip"`).
+    pub name: String,
+    /// L1 instruction-cache profile.
+    pub icache: CacheProfile,
+    /// L1 data-cache profile.
+    pub dcache: CacheProfile,
+}
+
+impl BenchmarkProfile {
+    /// The profile for one cache side.
+    pub fn side(&self, side: Level1) -> &CacheProfile {
+        match side {
+            Level1::Instruction => &self.icache,
+            Level1::Data => &self.dcache,
+        }
+    }
+}
+
+/// Per-cache analysis state inside the pipeline sink.
+struct SideState {
+    extractor: IntervalExtractor,
+    analyzer: PrefetchAnalyzer,
+    dist: CompactIntervalDist,
+    predictions: PredictionTable,
+}
+
+/// Outstanding prefetch predictions for non-resident lines, so that when
+/// the predicted fill arrives the *closing* interval of the victim frame
+/// can be tagged prefetchable — the frame-level analog of the paper's
+/// "an access to the previous cache line occurs within the interval".
+///
+/// Direct-mapped and lossy like the hardware it stands in for;
+/// collisions simply drop the older prediction.
+struct PredictionTable {
+    entries: Vec<Option<(LineAddr, Cycle, WakeHints)>>,
+    mask: usize,
+}
+
+impl PredictionTable {
+    fn new(slots: usize) -> Self {
+        let size = slots.next_power_of_two();
+        PredictionTable {
+            entries: vec![None; size],
+            mask: size - 1,
+        }
+    }
+
+    fn insert(&mut self, line: LineAddr, cycle: Cycle, hints: WakeHints) {
+        let slot = (line.index() as usize) & self.mask;
+        let merged = match self.entries[slot] {
+            Some((existing, _, old)) if existing == line => old.union(hints),
+            _ => hints,
+        };
+        self.entries[slot] = Some((line, cycle, merged));
+    }
+
+    fn take(&mut self, line: LineAddr) -> Option<(Cycle, WakeHints)> {
+        let slot = (line.index() as usize) & self.mask;
+        match self.entries[slot] {
+            Some((existing, cycle, hints)) if existing == line => {
+                self.entries[slot] = None;
+                Some((cycle, hints))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The streaming sink: routes each access through the hierarchy, then
+/// feeds the touched L1's interval extractor, then lets that side's
+/// prefetchers fire wake triggers at resident lines.
+struct PipelineSink {
+    hierarchy: Hierarchy,
+    icache: SideState,
+    dcache: SideState,
+    triggers: Vec<WakeTrigger>,
+    end: Cycle,
+}
+
+impl PipelineSink {
+    fn new(config: HierarchyConfig) -> Self {
+        let icache = SideState {
+            extractor: IntervalExtractor::new(config.l1i.num_frames()),
+            analyzer: PrefetchAnalyzer::for_instruction_cache(config.l1i.line_bits()),
+            dist: CompactIntervalDist::new(),
+            predictions: PredictionTable::new(16 * 1024),
+        };
+        let dcache = SideState {
+            extractor: IntervalExtractor::new(config.l1d.num_frames()),
+            analyzer: PrefetchAnalyzer::for_data_cache(config.l1d.line_bits()),
+            dist: CompactIntervalDist::new(),
+            predictions: PredictionTable::new(16 * 1024),
+        };
+        PipelineSink {
+            hierarchy: Hierarchy::new(config),
+            icache,
+            dcache,
+            triggers: Vec::with_capacity(4),
+            end: Cycle::ZERO,
+        }
+    }
+}
+
+impl TraceSink for PipelineSink {
+    fn accept(&mut self, access: MemoryAccess) {
+        let outcome = self.hierarchy.access(&access);
+        let event = outcome.l1;
+        let side = match event.cache {
+            Level1::Instruction => &mut self.icache,
+            Level1::Data => &mut self.dcache,
+        };
+        // 1. A fill that was predicted makes the interval it terminates
+        // prefetchable — provided the prediction arrived *within* that
+        // interval (after the frame's previous access).
+        if !event.hit {
+            if let Some((when, hints)) = side.predictions.take(event.line) {
+                let in_interval = side
+                    .extractor
+                    .last_access(event.frame)
+                    .is_none_or(|start| when >= start);
+                if in_interval {
+                    side.extractor.mark_wake(event.frame, hints);
+                }
+            }
+        }
+        // 2. Close the interval that this access terminates, carrying
+        // the frame's dirtiness for the writeback-aware accounting.
+        let now_dirty = self.hierarchy.l1(event.cache).frame_dirty(event.frame);
+        side.extractor
+            .on_access_full(event.frame, event.cycle, event.hit, now_dirty, &mut side.dist);
+        // 3. Let this side's prefetchers react. A trigger for a resident
+        // line wakes that line's frame now; a trigger for a non-resident
+        // line is remembered until its fill arrives (step 1).
+        side.analyzer.observe_into(&access, &mut self.triggers);
+        let cache = self.hierarchy.l1(event.cache);
+        for trigger in &self.triggers {
+            if let Some(frame) = cache.probe(trigger.line) {
+                match event.cache {
+                    Level1::Instruction => {
+                        self.icache.extractor.mark_wake(frame, trigger.hints)
+                    }
+                    Level1::Data => self.dcache.extractor.mark_wake(frame, trigger.hints),
+                }
+            } else {
+                let side = match event.cache {
+                    Level1::Instruction => &mut self.icache,
+                    Level1::Data => &mut self.dcache,
+                };
+                side.predictions.insert(trigger.line, access.cycle, trigger.hints);
+            }
+        }
+        if access.cycle >= self.end {
+            self.end = access.cycle.advanced(1);
+        }
+    }
+}
+
+/// Runs one benchmark through the full pipeline with the paper's
+/// Alpha-like hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_experiments::profile_benchmark;
+/// use leakage_workloads::{gzip, Scale};
+///
+/// let profile = profile_benchmark(&mut gzip(Scale::Test));
+/// assert!(profile.icache.covers_timeline());
+/// assert!(profile.dcache.covers_timeline());
+/// ```
+pub fn profile_benchmark(bench: &mut Benchmark) -> BenchmarkProfile {
+    profile_benchmark_with(bench, HierarchyConfig::alpha_like())
+}
+
+/// Runs one benchmark through the pipeline with an arbitrary hierarchy
+/// geometry — the entry point for cache-geometry sensitivity studies.
+pub fn profile_benchmark_with(bench: &mut Benchmark, config: HierarchyConfig) -> BenchmarkProfile {
+    let mut sink = PipelineSink::new(config.clone());
+    bench.run(&mut sink);
+
+    let end = sink.end;
+    let PipelineSink {
+        hierarchy,
+        mut icache,
+        mut dcache,
+        ..
+    } = sink;
+    icache.extractor.finish(end, &mut icache.dist);
+    dcache.extractor.finish(end, &mut dcache.dist);
+
+    BenchmarkProfile {
+        name: bench.name().to_string(),
+        icache: CacheProfile {
+            dist: icache.dist,
+            num_frames: config.l1i.num_frames(),
+            total_cycles: end.raw(),
+            prefetch: icache.analyzer.stats(),
+            cache: *hierarchy.l1i().stats(),
+        },
+        dcache: CacheProfile {
+            dist: dcache.dist,
+            num_frames: config.l1d.num_frames(),
+            total_cycles: end.raw(),
+            prefetch: dcache.analyzer.stats(),
+            cache: *hierarchy.l1d().stats(),
+        },
+    }
+}
+
+/// Profiles the unified L2's intervals for one benchmark.
+///
+/// The L2 sees only L1 misses, so its frames rest far longer than the
+/// L1s' — the `ablation-l2` experiment uses this to extend the limit
+/// study one level down the hierarchy. No prefetch analysis is run at
+/// this level (the paper's §5 schemes are L1 mechanisms).
+pub fn profile_l2(bench: &mut Benchmark) -> CacheProfile {
+    struct L2Sink {
+        hierarchy: Hierarchy,
+        extractor: IntervalExtractor,
+        dist: CompactIntervalDist,
+        end: Cycle,
+    }
+    impl TraceSink for L2Sink {
+        fn accept(&mut self, access: MemoryAccess) {
+            let outcome = self.hierarchy.access(&access);
+            if let Some(l2) = outcome.l2 {
+                self.extractor.on_access(
+                    l2.result.frame,
+                    access.cycle,
+                    l2.result.hit,
+                    &mut self.dist,
+                );
+            }
+            if access.cycle >= self.end {
+                self.end = access.cycle.advanced(1);
+            }
+        }
+    }
+
+    let config = HierarchyConfig::alpha_like();
+    let mut sink = L2Sink {
+        extractor: IntervalExtractor::new(config.l2.num_frames()),
+        hierarchy: Hierarchy::new(config.clone()),
+        dist: CompactIntervalDist::new(),
+        end: Cycle::ZERO,
+    };
+    bench.run(&mut sink);
+    let end = sink.end;
+    sink.extractor.finish(end, &mut sink.dist);
+    CacheProfile {
+        dist: sink.dist,
+        num_frames: config.l2.num_frames(),
+        total_cycles: end.raw(),
+        prefetch: PrefetchStats::default(),
+        cache: *sink.hierarchy.l2().stats(),
+    }
+}
+
+/// Extracts *line-centric* interval distributions (the paper's literal
+/// §3.1 definition: per memory line, residency ignored) for both L1
+/// line granularities. Returns `(icache_dist, dcache_dist, cycles)`.
+///
+/// Used by the `ablation-line-centric` experiment to quantify how much
+/// the frame-vs-line modelling choice moves the limits.
+pub fn profile_line_centric(
+    bench: &mut Benchmark,
+) -> (CompactIntervalDist, CompactIntervalDist, u64) {
+    use leakage_intervals::LineCentricExtractor;
+
+    struct LineSink {
+        icache: LineCentricExtractor,
+        dcache: LineCentricExtractor,
+        idist: CompactIntervalDist,
+        ddist: CompactIntervalDist,
+        end: Cycle,
+    }
+    impl TraceSink for LineSink {
+        fn accept(&mut self, access: MemoryAccess) {
+            let line = access.addr.line(6);
+            if access.kind.is_fetch() {
+                self.icache.on_access(line, access.cycle, &mut self.idist);
+            } else {
+                self.dcache.on_access(line, access.cycle, &mut self.ddist);
+            }
+            if access.cycle >= self.end {
+                self.end = access.cycle.advanced(1);
+            }
+        }
+    }
+
+    let mut sink = LineSink {
+        icache: LineCentricExtractor::new(),
+        dcache: LineCentricExtractor::new(),
+        idist: CompactIntervalDist::new(),
+        ddist: CompactIntervalDist::new(),
+        end: Cycle::ZERO,
+    };
+    bench.run(&mut sink);
+    let end = sink.end;
+    sink.icache.finish(end, &mut sink.idist);
+    sink.dcache.finish(end, &mut sink.ddist);
+    (sink.idist, sink.ddist, end.raw())
+}
+
+/// Profiles the whole six-benchmark suite at the given scale, one
+/// thread per benchmark.
+pub fn profile_suite(scale: Scale) -> Vec<BenchmarkProfile> {
+    let benchmarks = suite(scale);
+    let mut results: Vec<Option<BenchmarkProfile>> = Vec::new();
+    results.resize_with(benchmarks.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, mut bench) in results.iter_mut().zip(benchmarks) {
+            scope.spawn(move |_| {
+                *slot = Some(profile_benchmark(&mut bench));
+            });
+        }
+    })
+    .expect("profiling threads do not panic");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_intervals::IntervalKind;
+    use leakage_workloads::{applu, gzip};
+
+    #[test]
+    fn coverage_invariant_holds() {
+        let profile = profile_benchmark(&mut gzip(Scale::Test));
+        assert!(profile.icache.covers_timeline());
+        assert!(profile.dcache.covers_timeline());
+        assert_eq!(profile.name, "gzip");
+        assert_eq!(profile.icache.num_frames, 1024);
+        assert_eq!(profile.dcache.num_frames, 1024);
+    }
+
+    #[test]
+    fn icache_sees_fetches_dcache_sees_data() {
+        let profile = profile_benchmark(&mut applu(Scale::Test));
+        assert!(profile.icache.cache.accesses > profile.dcache.cache.accesses);
+        assert!(profile.dcache.cache.accesses > 0);
+    }
+
+    #[test]
+    fn prefetchers_fire() {
+        let profile = profile_benchmark(&mut applu(Scale::Test));
+        assert!(profile.icache.prefetch.next_line_triggers > 0);
+        assert_eq!(profile.icache.prefetch.stride_triggers, 0);
+        assert!(profile.dcache.prefetch.next_line_triggers > 0);
+        assert!(
+            profile.dcache.prefetch.stride_triggers > 0,
+            "applu's plane walks must train the stride prefetcher"
+        );
+    }
+
+    #[test]
+    fn some_intervals_carry_wake_hints() {
+        let profile = profile_benchmark(&mut applu(Scale::Test));
+        let hinted = profile
+            .dcache
+            .dist
+            .count_matching(|c| c.wake.any() && matches!(c.kind, IntervalKind::Interior { .. }));
+        assert!(hinted > 0, "sequential sweeps must produce NL-hinted intervals");
+    }
+
+    #[test]
+    fn side_accessor() {
+        let profile = profile_benchmark(&mut gzip(Scale::Test));
+        assert_eq!(
+            profile.side(Level1::Instruction).num_frames,
+            profile.icache.num_frames
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Plain-text and CSV table rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment result: a titled grid of cells.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_experiments::Table;
+///
+/// let mut t = Table::new("Demo", vec!["x".into(), "y".into()]);
+/// t.push_row(vec!["1".into(), "2".into()]);
+/// assert!(t.to_text().contains("Demo"));
+/// assert_eq!(t.to_csv(), "x,y\n1,2\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, width)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let escape = |cell: &str| cell.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas or quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Formats a percentage to one decimal, the paper's precision.
+pub(crate) fn pct(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T", vec!["a".into(), "bb".into()]);
+        t.push_row(vec!["111".into(), "2".into()]);
+        t.push_row(vec!["3".into(), "4444".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "== T ==");
+        // Header and rows share column widths.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| a | bb |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 111 | 2 |"));
+        let mut t = Table::new("p", vec!["x".into()]);
+        t.push_row(vec!["a|b".into()]);
+        assert!(t.to_markdown().contains("a\\|b"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("q", vec!["x".into()]);
+        t.push_row(vec!["a,b".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let t = sample();
+        assert_eq!(t.title(), "T");
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.to_string(), t.to_text());
+        assert_eq!(super::pct(12.345), "12.3");
+    }
+}

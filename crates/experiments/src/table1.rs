@@ -1,0 +1,54 @@
+//! Table 1: inflection points per technology node.
+
+use crate::Table;
+use leakage_core::{CircuitParams, IntervalEnergyModel, TechnologyNode};
+
+/// Regenerates Table 1: the active–drowsy and drowsy–sleep inflection
+/// points in cycles, for all four technology nodes, from the calibrated
+/// circuit parameters and the Eq. 3 solver.
+///
+/// Paper values: active–drowsy 6 at every node; drowsy–sleep 1057 /
+/// 5088 / 10328 / 103084 at 70 / 100 / 130 / 180 nm.
+pub fn generate() -> Table {
+    let mut headers = vec!["Technology".to_string()];
+    headers.extend(TechnologyNode::ALL.iter().map(|n| n.to_string()));
+    let mut table = Table::new("Table 1: inflection points (cycles)", headers);
+
+    let points: Vec<_> = TechnologyNode::ALL
+        .iter()
+        .map(|&node| IntervalEnergyModel::new(CircuitParams::for_node(node)).inflection_points())
+        .collect();
+
+    let mut active_row = vec!["Active-Drowsy point".to_string()];
+    active_row.extend(points.iter().map(|p| p.active_drowsy.to_string()));
+    table.push_row(active_row);
+
+    let mut sleep_row = vec!["Drowsy-Sleep point".to_string()];
+    sleep_row.extend(points.iter().map(|p| p.drowsy_sleep.to_string()));
+    table.push_row(sleep_row);
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_values() {
+        let table = generate();
+        assert_eq!(table.rows()[0][1..], ["6", "6", "6", "6"].map(String::from));
+        assert_eq!(
+            table.rows()[1][1..],
+            ["1057", "5088", "10328", "103084"].map(String::from)
+        );
+    }
+
+    #[test]
+    fn layout_matches_paper() {
+        let table = generate();
+        assert_eq!(table.headers()[1], "70nm");
+        assert_eq!(table.headers()[4], "180nm");
+        assert_eq!(table.rows().len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Table 2: optimal leakage savings with technology scaling.
+
+use crate::eval::average_saving;
+use crate::render::pct;
+use crate::{BenchmarkProfile, Table};
+use leakage_cachesim::Level1;
+use leakage_core::policy::{OptDrowsy, OptHybrid, OptSleep};
+use leakage_core::{CircuitParams, EnergyContext, RefetchAccounting, TechnologyNode};
+
+/// One Table 2 column: the three optimal savings for both caches at one
+/// technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSavings {
+    /// The node.
+    pub node: TechnologyNode,
+    /// `(OPT-Drowsy, OPT-Sleep, OPT-Hybrid)` for the instruction cache,
+    /// percent.
+    pub icache: (f64, f64, f64),
+    /// The same for the data cache.
+    pub dcache: (f64, f64, f64),
+}
+
+/// Computes Table 2's savings for one node, averaged over benchmarks.
+///
+/// `OPT-Sleep` here gates every interval beyond the node's drowsy–sleep
+/// inflection point (the paper's "aggressively turning off all intervals
+/// that are greater than the sleep-drowsy inflection point").
+pub fn node_savings(node: TechnologyNode, profiles: &[BenchmarkProfile]) -> NodeSavings {
+    let ctx = EnergyContext::new(CircuitParams::for_node(node), RefetchAccounting::PaperStrict);
+    let b = ctx.inflection_points().drowsy_sleep;
+    let mut sides = [Level1::Instruction, Level1::Data].map(|side| {
+        (
+            average_saving(&ctx, profiles, side, &OptDrowsy),
+            average_saving(&ctx, profiles, side, &OptSleep::new(b)),
+            average_saving(&ctx, profiles, side, &OptHybrid::new()),
+        )
+    });
+    NodeSavings {
+        node,
+        icache: std::mem::replace(&mut sides[0], (0.0, 0.0, 0.0)),
+        dcache: sides[1],
+    }
+}
+
+/// Regenerates Table 2 over all four nodes.
+pub fn generate(profiles: &[BenchmarkProfile]) -> Table {
+    let mut headers = vec!["".to_string()];
+    headers.extend(TechnologyNode::ALL.iter().map(|n| n.to_string()));
+    let mut table = Table::new(
+        "Table 2: optimal leakage saving percentages with technology scaling",
+        headers,
+    );
+
+    let all: Vec<NodeSavings> = TechnologyNode::ALL
+        .iter()
+        .map(|&node| node_savings(node, profiles))
+        .collect();
+
+    let mut row = |label: &str, values: Vec<String>| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values);
+        table.push_row(cells);
+    };
+
+    row(
+        "Vdd (V)",
+        all.iter().map(|s| format!("{:.1}", s.node.vdd())).collect(),
+    );
+    row(
+        "Vth (V)",
+        all.iter().map(|s| format!("{:.4}", s.node.vth())).collect(),
+    );
+    row(
+        "I-Cache OPT-Drowsy (%)",
+        all.iter().map(|s| pct(s.icache.0)).collect(),
+    );
+    row(
+        "I-Cache OPT-Sleep (%)",
+        all.iter().map(|s| pct(s.icache.1)).collect(),
+    );
+    row(
+        "I-Cache OPT-Hybrid (%)",
+        all.iter().map(|s| pct(s.icache.2)).collect(),
+    );
+    row(
+        "D-Cache OPT-Drowsy (%)",
+        all.iter().map(|s| pct(s.dcache.0)).collect(),
+    );
+    row(
+        "D-Cache OPT-Sleep (%)",
+        all.iter().map(|s| pct(s.dcache.1)).collect(),
+    );
+    row(
+        "D-Cache OPT-Hybrid (%)",
+        all.iter().map(|s| pct(s.dcache.2)).collect(),
+    );
+
+    table
+}
+
+/// Sanity metric for calibration: the suite-average hybrid savings at
+/// the headline node, `(icache, dcache)`.
+pub fn headline_hybrid(profiles: &[BenchmarkProfile]) -> (f64, f64) {
+    let s = node_savings(crate::HEADLINE_NODE, profiles);
+    (s.icache.2, s.dcache.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile_benchmark;
+    use leakage_workloads::{gzip, Scale};
+
+    #[test]
+    fn structure_and_monotonicity() {
+        let profiles = vec![profile_benchmark(&mut gzip(Scale::Test))];
+        let table = generate(&profiles);
+        assert_eq!(table.rows().len(), 8);
+        assert_eq!(table.headers().len(), 5);
+
+        // Hybrid dominates both components at every node.
+        let all: Vec<NodeSavings> = TechnologyNode::ALL
+            .iter()
+            .map(|&n| node_savings(n, &profiles))
+            .collect();
+        for s in &all {
+            assert!(s.icache.2 + 1e-9 >= s.icache.0);
+            assert!(s.icache.2 + 1e-9 >= s.icache.1);
+            assert!(s.dcache.2 + 1e-9 >= s.dcache.0);
+            assert!(s.dcache.2 + 1e-9 >= s.dcache.1);
+        }
+        // Hybrid savings do not grow as technology gets older (b grows).
+        for pair in all.windows(2) {
+            assert!(pair[0].icache.2 + 1e-9 >= pair[1].icache.2);
+            assert!(pair[0].dcache.2 + 1e-9 >= pair[1].dcache.2);
+        }
+    }
+}

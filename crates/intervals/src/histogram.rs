@@ -1,0 +1,223 @@
+//! Banded interval histograms.
+
+use crate::{Interval, IntervalSink};
+use serde::{Deserialize, Serialize};
+
+/// A histogram of interval lengths over caller-chosen bands.
+///
+/// Band `i` covers lengths in `(edges[i-1], edges[i]]`, with an implicit
+/// final band `(edges[last], +∞)` and an implicit first band starting
+/// at 0 — the banding the paper uses in Fig. 9 with edges `[6, 1057]`:
+/// `(0, 6]`, `(6, 1057]`, `(1057, +∞)`. Zero-length intervals land in
+/// the first band.
+///
+/// Each band tracks the interval *count* and the *cycle mass* (sum of
+/// lengths), because leakage savings are cycle-weighted while
+/// prefetchability (Fig. 9) is count-weighted.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_intervals::IntervalHistogram;
+///
+/// let mut hist = IntervalHistogram::with_edges(&[6, 1057]);
+/// hist.observe(3);
+/// hist.observe(100);
+/// hist.observe(100_000);
+/// assert_eq!(hist.counts(), vec![1, 1, 1]);
+/// assert_eq!(hist.cycles(), vec![3, 100, 100_000]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalHistogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    cycles: Vec<u64>,
+}
+
+impl IntervalHistogram {
+    /// Creates a histogram with the given ascending band edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is not strictly ascending.
+    pub fn with_edges(edges: &[u64]) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "band edges must be strictly ascending"
+        );
+        IntervalHistogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            cycles: vec![0; edges.len() + 1],
+        }
+    }
+
+    /// A power-of-two histogram covering 1 cycle to 2^63: bands
+    /// `(0,1], (1,2], (2,4], …` — useful for inspecting a workload's
+    /// interval CDF during calibration.
+    pub fn log2() -> Self {
+        let edges: Vec<u64> = (0..63).map(|i| 1u64 << i).collect();
+        IntervalHistogram::with_edges(&edges)
+    }
+
+    /// The index of the band a length falls into.
+    pub fn band_of(&self, length: u64) -> usize {
+        self.edges.partition_point(|&edge| edge < length)
+    }
+
+    /// Adds one interval of the given length.
+    pub fn observe(&mut self, length: u64) {
+        self.observe_many(length, 1);
+    }
+
+    /// Adds `count` intervals of the given length.
+    pub fn observe_many(&mut self, length: u64, count: u64) {
+        let band = self.band_of(length);
+        self.counts[band] += count;
+        self.cycles[band] += length * count;
+    }
+
+    /// The band edges.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Interval counts per band (length `edges.len() + 1`).
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts.clone()
+    }
+
+    /// Cycle mass per band.
+    pub fn cycles(&self) -> Vec<u64> {
+        self.cycles.clone()
+    }
+
+    /// Total number of observed intervals.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total observed cycle mass.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// The smallest band upper-edge at or below which at least
+    /// `fraction` of the *cycle mass* lies — a banded quantile of the
+    /// cycle-weighted length distribution (`None` for an empty
+    /// histogram; the final unbounded band reports `u64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn cycle_quantile_edge(&self, fraction: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let total = self.total_cycles();
+        if total == 0 {
+            return None;
+        }
+        let target = fraction * total as f64;
+        let mut acc = 0.0;
+        for (band, &mass) in self.cycles.iter().enumerate() {
+            acc += mass as f64;
+            if acc + 1e-9 >= target {
+                return Some(self.edges.get(band).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Fraction of the cycle mass in intervals strictly longer than
+    /// `threshold` (must be one of the edges for an exact answer).
+    pub fn cycle_fraction_above(&self, threshold: u64) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        let band = self.edges.partition_point(|&edge| edge <= threshold);
+        let above: u64 = self.cycles[band..].iter().sum();
+        above as f64 / total as f64
+    }
+}
+
+impl IntervalSink for IntervalHistogram {
+    fn record(&mut self, interval: Interval) {
+        self.observe(interval.length);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_banding() {
+        let h = IntervalHistogram::with_edges(&[6, 1057]);
+        assert_eq!(h.band_of(0), 0);
+        assert_eq!(h.band_of(6), 0);
+        assert_eq!(h.band_of(7), 1);
+        assert_eq!(h.band_of(1057), 1);
+        assert_eq!(h.band_of(1058), 2);
+        assert_eq!(h.band_of(u64::MAX), 2);
+    }
+
+    #[test]
+    fn counts_and_cycles_accumulate() {
+        let mut h = IntervalHistogram::with_edges(&[10]);
+        h.observe_many(5, 3);
+        h.observe(100);
+        assert_eq!(h.counts(), vec![3, 1]);
+        assert_eq!(h.cycles(), vec![15, 100]);
+        assert_eq!(h.total_count(), 4);
+        assert_eq!(h.total_cycles(), 115);
+    }
+
+    #[test]
+    fn cycle_fraction_above_edges() {
+        let mut h = IntervalHistogram::with_edges(&[6, 1057]);
+        h.observe(6); // 6 cycles below
+        h.observe(1000); // 1000 cycles mid
+        h.observe(10_000); // 10k above
+        let total = 11_006.0;
+        assert!((h.cycle_fraction_above(6) - 11_000.0 / total).abs() < 1e-12);
+        assert!((h.cycle_fraction_above(1057) - 10_000.0 / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_fraction_is_zero() {
+        let h = IntervalHistogram::with_edges(&[6]);
+        assert_eq!(h.cycle_fraction_above(6), 0.0);
+    }
+
+    #[test]
+    fn log2_covers_wide_range() {
+        let mut h = IntervalHistogram::log2();
+        h.observe(1);
+        h.observe(1 << 40);
+        h.observe(u64::MAX);
+        assert_eq!(h.total_count(), 3);
+    }
+
+    #[test]
+    fn cycle_quantiles() {
+        let mut h = IntervalHistogram::with_edges(&[10, 100, 1000]);
+        h.observe_many(5, 2); // 10 cycles in band 0
+        h.observe(90); // 90 cycles in band 1
+        h.observe(900); // 900 cycles in band 2
+        // Total 1000 cycles; the median sits in the 900-cycle band.
+        assert_eq!(h.cycle_quantile_edge(0.5), Some(1000));
+        assert_eq!(h.cycle_quantile_edge(0.01), Some(10));
+        assert_eq!(h.cycle_quantile_edge(1.0), Some(1000));
+        assert_eq!(IntervalHistogram::with_edges(&[1]).cycle_quantile_edge(0.5), None);
+        // Mass beyond the last edge reports the unbounded band.
+        let mut h = IntervalHistogram::with_edges(&[10]);
+        h.observe(1_000_000);
+        assert_eq!(h.cycle_quantile_edge(0.9), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_edges() {
+        let _ = IntervalHistogram::with_edges(&[10, 5]);
+    }
+}

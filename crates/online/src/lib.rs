@@ -1,0 +1,59 @@
+//! Online (timeline) simulation of implementable leakage controllers.
+//!
+//! The analytic machinery in `leakage-core` evaluates a policy from the
+//! interval-length distribution alone — fast, and exactly what the
+//! paper's limit study needs. Real controllers, however, live on a
+//! timeline: a decay counter fires whether or not the next access is
+//! near, a periodic drowsy tick lands at a phase the line does not
+//! choose, and an adaptive controller's threshold depends on the misses
+//! it already caused. This crate simulates those mechanisms per frame,
+//! event by event:
+//!
+//! * [`Controller::Decay`] — cache decay with an ideal per-line timer,
+//!   in both *realistic* (commit at the timer, pay the wakeup) and
+//!   *idealized* (the analytic model's semantics) variants, so the two
+//!   accountings can be diffed,
+//! * [`Controller::QuantizedDecay`] — Kaxiras-style hierarchical
+//!   counters: a global tick driving small per-line saturating
+//!   counters, which quantizes the effective decay interval,
+//! * [`Controller::PeriodicDrowsy`] — Flautner/Kim's global drowsy
+//!   tick, phase-exact rather than the analytic expectation,
+//! * [`Controller::AdaptiveDecay`] — feedback control of the decay
+//!   threshold from the observed induced-miss rate (in the spirit of
+//!   Velusamy et al.'s formal-feedback decay),
+//! * [`dri`] — DRI-style cache resizing (Powell et al.): way-gating
+//!   driven by a per-epoch miss bound, with a full-size shadow cache
+//!   measuring the resize penalty.
+//!
+//! [`OnlineSink`] wraps the cache hierarchy so a workload can drive two
+//! simulators (one per L1) directly, and [`OnlineReport`] carries the
+//! energy, stall and state-residency results.
+//!
+//! # Examples
+//!
+//! ```
+//! use leakage_core::{CircuitParams, TechnologyNode};
+//! use leakage_online::{Controller, OnlineCacheSim};
+//! use leakage_cachesim::FrameId;
+//! use leakage_trace::Cycle;
+//!
+//! let params = CircuitParams::for_node(TechnologyNode::N70);
+//! let mut sim = OnlineCacheSim::new(params, Controller::decay(10_000), 4);
+//! sim.on_access(FrameId::new(0), Cycle::new(100), false);
+//! sim.on_access(FrameId::new(0), Cycle::new(50_000), true); // induced miss
+//! let report = sim.finish(Cycle::new(60_000));
+//! assert!(report.saving_fraction() > 0.0);
+//! assert_eq!(report.induced_misses, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+pub mod dri;
+mod report;
+mod simulator;
+
+pub use controller::{Controller, Trajectory};
+pub use report::OnlineReport;
+pub use simulator::{OnlineCacheSim, OnlineSink};

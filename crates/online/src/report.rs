@@ -1,0 +1,139 @@
+//! Results of an online simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// What one controller did to one cache over one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Controller name.
+    pub controller: String,
+    /// Total energy under the controller, pJ (leakage + transitions +
+    /// refetches + counter overhead).
+    pub energy: f64,
+    /// Always-active baseline energy over the same frames and cycles.
+    pub baseline: f64,
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that found their line's data destroyed (induced misses).
+    pub induced_misses: u64,
+    /// Total stall cycles charged to accesses.
+    pub stall_cycles: u64,
+    /// Accesses that stalled at all.
+    pub stalled_accesses: u64,
+    /// Frame-cycles per mode: `[active, drowsy, sleep]`. Sums to
+    /// `frames × span`.
+    pub mode_cycles: [u64; 3],
+    /// For adaptive controllers, the `(cycle, theta)` re-tuning history
+    /// (initial setting first). Empty for fixed controllers.
+    pub theta_history: Vec<(u64, u64)>,
+}
+
+impl OnlineReport {
+    /// Leakage power saving vs the always-active baseline.
+    pub fn saving_fraction(&self) -> f64 {
+        if self.baseline == 0.0 {
+            0.0
+        } else {
+            1.0 - self.energy / self.baseline
+        }
+    }
+
+    /// Saving in percent.
+    pub fn saving_percent(&self) -> f64 {
+        self.saving_fraction() * 100.0
+    }
+
+    /// Induced misses per 1000 accesses.
+    pub fn induced_miss_per_kilo_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1_000.0 * self.induced_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Average stall cycles per access.
+    pub fn stall_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of frame-cycles spent in each mode.
+    pub fn mode_fractions(&self) -> [f64; 3] {
+        let total: u64 = self.mode_cycles.iter().sum();
+        if total == 0 {
+            return [0.0; 3];
+        }
+        self.mode_cycles.map(|c| c as f64 / total as f64)
+    }
+}
+
+impl std::fmt::Display for OnlineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [active, drowsy, sleep] = self.mode_fractions();
+        write!(
+            f,
+            "{}: {:.1}% saved | {:.2} induced misses/1K acc | {:.3} stall cy/acc | \
+             residency {:.0}/{:.0}/{:.0}% (A/D/S)",
+            self.controller,
+            self.saving_percent(),
+            self.induced_miss_per_kilo_access(),
+            self.stall_per_access(),
+            active * 100.0,
+            drowsy * 100.0,
+            sleep * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> OnlineReport {
+        OnlineReport {
+            controller: "test".into(),
+            energy: 30.0,
+            baseline: 100.0,
+            accesses: 2_000,
+            induced_misses: 10,
+            stall_cycles: 70,
+            stalled_accesses: 10,
+            mode_cycles: [100, 300, 600],
+            theta_history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.saving_fraction() - 0.7).abs() < 1e-12);
+        assert!((r.induced_miss_per_kilo_access() - 5.0).abs() < 1e-12);
+        assert!((r.stall_per_access() - 0.035).abs() < 1e-12);
+        assert_eq!(r.mode_fractions(), [0.1, 0.3, 0.6]);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let r = OnlineReport {
+            accesses: 0,
+            baseline: 0.0,
+            mode_cycles: [0; 3],
+            ..report()
+        };
+        assert_eq!(r.saving_fraction(), 0.0);
+        assert_eq!(r.induced_miss_per_kilo_access(), 0.0);
+        assert_eq!(r.stall_per_access(), 0.0);
+        assert_eq!(r.mode_fractions(), [0.0; 3]);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let text = report().to_string();
+        assert!(text.contains("70.0% saved"));
+        assert!(text.contains("5.00 induced"));
+    }
+}

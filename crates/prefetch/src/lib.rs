@@ -1,0 +1,43 @@
+//! Prefetchers and prefetchability analysis (paper §5).
+//!
+//! The limit study's oracle knows the future; a real design can only
+//! *approximate* that knowledge. The paper proposes using prefetchers as
+//! the approximation: when a prefetcher would have fetched line `L`
+//! during one of `L`'s rest intervals, a management scheme could have
+//! slept (or drowsed) `L` through that interval and used the prefetch
+//! trigger as the just-in-time wakeup.
+//!
+//! This crate provides the two hardware schemes the paper evaluates —
+//! [`NextLinePrefetcher`] and the per-PC two-strike [`StridePrefetcher`]
+//! of Farkas et al. — and a [`PrefetchAnalyzer`] that turns a raw access
+//! stream into *wake triggers*: `(line, hints)` pairs the experiment
+//! pipeline forwards to the interval extractor
+//! ([`IntervalExtractor::mark_wake`]).
+//!
+//! [`IntervalExtractor::mark_wake`]: leakage_intervals::IntervalExtractor::mark_wake
+//!
+//! # Examples
+//!
+//! ```
+//! use leakage_prefetch::PrefetchAnalyzer;
+//! use leakage_trace::{AccessKind, Address, Cycle, MemoryAccess, Pc};
+//!
+//! // A data-side analyzer: next-line + stride.
+//! let mut analyzer = PrefetchAnalyzer::for_data_cache(6);
+//! let access = MemoryAccess::load(Cycle::ZERO, Pc::new(0x100), Address::new(0x1000));
+//! let triggers = analyzer.observe(&access);
+//! // Accessing line 0x40 next-line-triggers line 0x41.
+//! assert_eq!(triggers[0].line.index(), 0x41);
+//! assert!(triggers[0].hints.next_line);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod nextline;
+mod stride;
+
+pub use analyzer::{PrefetchAnalyzer, PrefetchStats, WakeTrigger};
+pub use nextline::NextLinePrefetcher;
+pub use stride::{StrideEntry, StridePrefetcher};

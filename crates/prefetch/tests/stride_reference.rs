@@ -1,0 +1,121 @@
+//! Property test: the direct-mapped stride table against a naive
+//! unbounded per-PC reference model (collision-free regime).
+
+use leakage_prefetch::StridePrefetcher;
+use leakage_trace::{Address, Pc};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The textbook two-strike stride predictor, one entry per PC, no
+/// capacity limits.
+#[derive(Default)]
+struct ReferenceStride {
+    entries: HashMap<u64, (u64, i64, u8)>, // pc -> (last, stride, confirms)
+}
+
+impl ReferenceStride {
+    fn observe(&mut self, pc: u64, addr: u64) -> Option<u64> {
+        match self.entries.get_mut(&pc) {
+            None => {
+                self.entries.insert(pc, (addr, 0, 0));
+                None
+            }
+            Some((last, stride, confirms)) => {
+                let delta = addr.wrapping_sub(*last) as i64;
+                if delta != 0 && delta == *stride {
+                    *confirms = confirms.saturating_add(1);
+                } else {
+                    *stride = delta;
+                    *confirms = if delta == 0 { 0 } else { 1 };
+                }
+                *last = addr;
+                if *confirms >= 2 {
+                    Some(addr.wrapping_add_signed(*stride))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Distinct word-aligned PCs that cannot collide in a 4096-entry table.
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec(
+        (
+            (0u64..64).prop_map(|i| 0x1000 + i * 4), // 64 distinct PCs
+            0u64..1_000_000,
+        ),
+        1..500,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With no table collisions the hardware table equals the ideal
+    /// model on every prediction.
+    #[test]
+    fn table_matches_reference_without_collisions(stream in arb_stream()) {
+        let mut table = StridePrefetcher::new(4096);
+        let mut reference = ReferenceStride::default();
+        for &(pc, addr) in &stream {
+            let expected = reference.observe(pc, addr);
+            let actual = table.observe(Pc::new(pc), Address::new(addr));
+            prop_assert_eq!(
+                actual.map(|a| a.raw()),
+                expected,
+                "divergence at pc={:#x} addr={:#x}", pc, addr
+            );
+        }
+    }
+
+    /// A collision-prone table never *invents* predictions the ideal
+    /// model would not make: evictions can only suppress predictions.
+    #[test]
+    fn collisions_only_suppress(stream in arb_stream()) {
+        let mut small = StridePrefetcher::new(4); // heavy collisions
+        let mut reference = ReferenceStride::default();
+        for &(pc, addr) in &stream {
+            let expected = reference.observe(pc, addr);
+            let actual = small.observe(Pc::new(pc), Address::new(addr));
+            if let Some(predicted) = actual {
+                prop_assert_eq!(Some(predicted.raw()), expected,
+                    "small table predicted something the ideal model would not");
+            }
+        }
+        prop_assert!(small.triggers() <= reference_trigger_bound(&stream));
+    }
+
+    /// A pure arithmetic stream predicts exactly from the third access.
+    #[test]
+    fn arithmetic_stream_predicts_from_third_access(
+        base in 0u64..1_000_000,
+        stride in prop::sample::select(vec![-4096i64, -64, 8, 64, 512, 4096]),
+        len in 3usize..40,
+    ) {
+        let mut table = StridePrefetcher::new(64);
+        let pc = Pc::new(0x400);
+        for i in 0..len {
+            let addr = Address::new(base.wrapping_add_signed(stride * i as i64));
+            let prediction = table.observe(pc, addr);
+            if i < 2 {
+                prop_assert_eq!(prediction, None, "i={}", i);
+            } else {
+                prop_assert_eq!(
+                    prediction,
+                    Some(addr.offset(stride)),
+                    "i={}", i
+                );
+            }
+        }
+    }
+}
+
+fn reference_trigger_bound(stream: &[(u64, u64)]) -> u64 {
+    let mut reference = ReferenceStride::default();
+    stream
+        .iter()
+        .filter(|&&(pc, addr)| reference.observe(pc, addr).is_some())
+        .count() as u64
+}

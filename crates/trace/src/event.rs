@@ -1,0 +1,131 @@
+//! Memory access events.
+
+use crate::{Address, Cycle, Pc};
+use serde::{Deserialize, Serialize};
+
+/// The kind of memory access an instruction performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An instruction fetch; routed to the L1 instruction cache.
+    InstFetch,
+    /// A data load; routed to the L1 data cache.
+    Load,
+    /// A data store; routed to the L1 data cache (write-allocate).
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for loads and stores (accesses served by the data
+    /// cache).
+    pub const fn is_data(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+
+    /// Returns `true` for instruction fetches.
+    pub const fn is_fetch(self) -> bool {
+        matches!(self, AccessKind::InstFetch)
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AccessKind::InstFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One timed memory access: the atom of a simulation trace.
+///
+/// Fields are public in the C-struct spirit: the event is passive data
+/// with no invariants beyond its field types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// The cycle at which the access is issued.
+    pub cycle: Cycle,
+    /// The static instruction that issued the access. For instruction
+    /// fetches this equals the fetch address.
+    pub pc: Pc,
+    /// The byte address accessed.
+    pub addr: Address,
+    /// Fetch, load or store.
+    pub kind: AccessKind,
+}
+
+impl MemoryAccess {
+    /// Creates an access event.
+    pub const fn new(cycle: Cycle, pc: Pc, addr: Address, kind: AccessKind) -> Self {
+        MemoryAccess {
+            cycle,
+            pc,
+            addr,
+            kind,
+        }
+    }
+
+    /// Convenience constructor for an instruction fetch at `pc`.
+    pub const fn fetch(cycle: Cycle, pc: Pc) -> Self {
+        MemoryAccess::new(cycle, pc, pc.as_address(), AccessKind::InstFetch)
+    }
+
+    /// Convenience constructor for a data load.
+    pub const fn load(cycle: Cycle, pc: Pc, addr: Address) -> Self {
+        MemoryAccess::new(cycle, pc, addr, AccessKind::Load)
+    }
+
+    /// Convenience constructor for a data store.
+    pub const fn store(cycle: Cycle, pc: Pc, addr: Address) -> Self {
+        MemoryAccess::new(cycle, pc, addr, AccessKind::Store)
+    }
+}
+
+impl std::fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "@{} {} {} ({})",
+            self.cycle, self.kind, self.addr, self.pc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+        assert!(!AccessKind::InstFetch.is_data());
+        assert!(AccessKind::InstFetch.is_fetch());
+        assert!(!AccessKind::Load.is_fetch());
+    }
+
+    #[test]
+    fn fetch_constructor_uses_pc_as_address() {
+        let f = MemoryAccess::fetch(Cycle::new(7), Pc::new(0x4000));
+        assert_eq!(f.addr, Address::new(0x4000));
+        assert_eq!(f.kind, AccessKind::InstFetch);
+    }
+
+    #[test]
+    fn load_store_constructors() {
+        let l = MemoryAccess::load(Cycle::new(1), Pc::new(2), Address::new(3));
+        let s = MemoryAccess::store(Cycle::new(1), Pc::new(2), Address::new(3));
+        assert_eq!(l.kind, AccessKind::Load);
+        assert_eq!(s.kind, AccessKind::Store);
+        assert_eq!(l.addr, s.addr);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = MemoryAccess::load(Cycle::new(5), Pc::new(0x10), Address::new(0x20));
+        let text = a.to_string();
+        assert!(text.contains("load"));
+        assert!(text.contains("0x20"));
+    }
+}

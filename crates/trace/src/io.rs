@@ -1,0 +1,305 @@
+//! Binary trace serialization.
+//!
+//! A compact on-disk format so traces can be captured once and replayed
+//! into other tools (or other simulator configurations) without
+//! re-running the generator:
+//!
+//! ```text
+//! magic "LKTR" | version: u32 LE | records…
+//! record: cycle u64 | pc u64 | addr u64 | kind u8   (25 bytes, LE)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use leakage_trace::io::{read_trace, TraceWriter};
+//! use leakage_trace::{Cycle, MemoryAccess, Pc, TraceSink};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut buffer = Vec::new();
+//! {
+//!     let mut writer = TraceWriter::new(&mut buffer)?;
+//!     writer.accept(MemoryAccess::fetch(Cycle::new(0), Pc::new(0x100)));
+//!     writer.flush()?;
+//! }
+//! let replayed = read_trace(&buffer[..])?;
+//! assert_eq!(replayed.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{AccessKind, Address, Cycle, MemoryAccess, Pc, TraceSink, VecTrace};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+/// File magic.
+const MAGIC: [u8; 4] = *b"LKTR";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Bytes per record.
+const RECORD_BYTES: usize = 25;
+
+fn kind_to_byte(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::InstFetch => 0,
+        AccessKind::Load => 1,
+        AccessKind::Store => 2,
+    }
+}
+
+fn kind_from_byte(byte: u8) -> io::Result<AccessKind> {
+    match byte {
+        0 => Ok(AccessKind::InstFetch),
+        1 => Ok(AccessKind::Load),
+        2 => Ok(AccessKind::Store),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid access kind byte {other}"),
+        )),
+    }
+}
+
+/// Streams accesses into a writer in the binary format.
+///
+/// `TraceWriter` is a [`TraceSink`], so a workload generator can write
+/// straight to disk. Call [`flush`](TraceWriter::flush) (or drop) when
+/// done; I/O errors during `accept` are deferred and surfaced by
+/// `flush`.
+pub struct TraceWriter<W: Write> {
+    writer: BufWriter<W>,
+    deferred_error: Option<io::Error>,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(writer: W) -> io::Result<Self> {
+        let mut writer = BufWriter::new(writer);
+        writer.write_all(&MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        Ok(TraceWriter {
+            writer,
+            deferred_error: None,
+            records: 0,
+        })
+    }
+
+    /// Number of records accepted so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes buffered records and reports any deferred write error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered while accepting records, or
+    /// any error from the final flush.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(err) = self.deferred_error.take() {
+            return Err(err);
+        }
+        self.writer.flush()
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn accept(&mut self, access: MemoryAccess) {
+        if self.deferred_error.is_some() {
+            return;
+        }
+        let mut record = [0u8; RECORD_BYTES];
+        record[0..8].copy_from_slice(&access.cycle.raw().to_le_bytes());
+        record[8..16].copy_from_slice(&access.pc.raw().to_le_bytes());
+        record[16..24].copy_from_slice(&access.addr.raw().to_le_bytes());
+        record[24] = kind_to_byte(access.kind);
+        if let Err(err) = self.writer.write_all(&record) {
+            self.deferred_error = Some(err);
+        } else {
+            self.records += 1;
+        }
+    }
+}
+
+/// Streams a binary trace from a reader into any sink.
+///
+/// Returns the number of records replayed.
+///
+/// # Errors
+///
+/// Fails on a bad header, an unsupported version, a torn final record,
+/// an invalid kind byte, or any underlying I/O error.
+pub fn replay_trace<R: Read>(reader: R, sink: &mut dyn TraceSink) -> io::Result<u64> {
+    let mut reader = BufReader::new(reader);
+    let mut header = [0u8; 8];
+    reader.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a leakage trace (bad magic)",
+        ));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let mut count = 0;
+    let mut record = [0u8; RECORD_BYTES];
+    loop {
+        match read_record(&mut reader, &mut record)? {
+            false => return Ok(count),
+            true => {
+                let cycle = u64::from_le_bytes(record[0..8].try_into().expect("8"));
+                let pc = u64::from_le_bytes(record[8..16].try_into().expect("8"));
+                let addr = u64::from_le_bytes(record[16..24].try_into().expect("8"));
+                let kind = kind_from_byte(record[24])?;
+                sink.accept(MemoryAccess::new(
+                    Cycle::new(cycle),
+                    Pc::new(pc),
+                    Address::new(addr),
+                    kind,
+                ));
+                count += 1;
+            }
+        }
+    }
+}
+
+/// Reads one full record; `Ok(false)` on clean EOF, error on torn data.
+fn read_record<R: Read>(reader: &mut R, record: &mut [u8; RECORD_BYTES]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < RECORD_BYTES {
+        let n = reader.read(&mut record[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(false)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn trace record at end of stream",
+                ))
+            };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Reads a whole binary trace into memory.
+///
+/// # Errors
+///
+/// See [`replay_trace`].
+pub fn read_trace<R: Read>(reader: R) -> io::Result<VecTrace> {
+    let mut trace = VecTrace::new();
+    replay_trace(reader, &mut trace)?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<MemoryAccess> {
+        vec![
+            MemoryAccess::fetch(Cycle::new(0), Pc::new(0x1000)),
+            MemoryAccess::load(Cycle::new(5), Pc::new(0x1004), Address::new(0xdead_beef)),
+            MemoryAccess::store(Cycle::new(u64::MAX), Pc::new(u64::MAX), Address::new(0)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceWriter::new(&mut buffer).unwrap();
+            for access in sample() {
+                writer.accept(access);
+            }
+            assert_eq!(writer.records(), 3);
+            writer.flush().unwrap();
+        }
+        assert_eq!(buffer.len(), 8 + 3 * RECORD_BYTES);
+        let replayed = read_trace(&buffer[..]).unwrap();
+        assert_eq!(replayed.events(), &sample()[..]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&MAGIC);
+        buffer.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_trace(&buffer[..]).unwrap_err();
+        assert!(err.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn torn_record_rejected() {
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceWriter::new(&mut buffer).unwrap();
+            writer.accept(sample()[0]);
+            writer.flush().unwrap();
+        }
+        buffer.truncate(buffer.len() - 3);
+        let err = read_trace(&buffer[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn invalid_kind_rejected() {
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceWriter::new(&mut buffer).unwrap();
+            writer.accept(sample()[0]);
+            writer.flush().unwrap();
+        }
+        let last = buffer.len() - 1;
+        buffer[last] = 7;
+        let err = read_trace(&buffer[..]).unwrap_err();
+        assert!(err.to_string().contains("kind byte 7"));
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let mut buffer = Vec::new();
+        TraceWriter::new(&mut buffer).unwrap().flush().unwrap();
+        let replayed = read_trace(&buffer[..]).unwrap();
+        assert!(replayed.is_empty());
+    }
+
+    #[test]
+    fn replay_into_custom_sink() {
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceWriter::new(&mut buffer).unwrap();
+            for access in sample() {
+                writer.accept(access);
+            }
+            writer.flush().unwrap();
+        }
+        struct Counter(u64);
+        impl TraceSink for Counter {
+            fn accept(&mut self, _access: MemoryAccess) {
+                self.0 += 1;
+            }
+        }
+        let mut counter = Counter(0);
+        let n = replay_trace(&buffer[..], &mut counter).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(counter.0, 3);
+    }
+}

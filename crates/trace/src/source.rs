@@ -1,0 +1,214 @@
+//! Producers and consumers of access streams.
+
+use crate::{MemoryAccess, TraceStats};
+
+/// A consumer of memory-access events.
+///
+/// Workload generators push events into a `TraceSink`; the cache
+/// hierarchy, statistics collectors and on-disk writers all implement it.
+/// Generators must emit events in non-decreasing cycle order.
+pub trait TraceSink {
+    /// Consumes one access event.
+    fn accept(&mut self, access: MemoryAccess);
+}
+
+/// Forwarding one event to a pair of sinks.
+impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
+    fn accept(&mut self, access: MemoryAccess) {
+        self.0.accept(access);
+        self.1.accept(access);
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn accept(&mut self, access: MemoryAccess) {
+        (**self).accept(access);
+    }
+}
+
+impl TraceSink for Vec<MemoryAccess> {
+    fn accept(&mut self, access: MemoryAccess) {
+        self.push(access);
+    }
+}
+
+/// A producer of memory-access events.
+///
+/// A source drives a sink to completion; this push model lets the large
+/// synthetic workloads stream through the simulator without ever
+/// materializing the trace.
+pub trait TraceSource {
+    /// Generates the whole trace into `sink`.
+    fn run(&mut self, sink: &mut dyn TraceSink);
+}
+
+/// An in-memory trace, useful for tests and small examples.
+///
+/// `VecTrace` is both a [`TraceSink`] (it records what it is fed) and a
+/// [`TraceSource`] (it can replay its contents), and it keeps running
+/// [`TraceStats`].
+///
+/// # Examples
+///
+/// ```
+/// use leakage_trace::{Cycle, MemoryAccess, Pc, TraceSink, TraceSource, VecTrace};
+///
+/// let mut trace = VecTrace::new();
+/// trace.accept(MemoryAccess::fetch(Cycle::new(0), Pc::new(0x100)));
+/// trace.accept(MemoryAccess::fetch(Cycle::new(1), Pc::new(0x104)));
+///
+/// let mut replayed = Vec::new();
+/// trace.run(&mut replayed);
+/// assert_eq!(replayed.len(), 2);
+/// assert_eq!(trace.stats().fetches, 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecTrace {
+    events: Vec<MemoryAccess>,
+    stats: TraceStats,
+}
+
+impl VecTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        VecTrace::default()
+    }
+
+    /// Returns the recorded events in issue order.
+    pub fn events(&self) -> &[MemoryAccess] {
+        &self.events
+    }
+
+    /// Returns the running statistics of the recorded events.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Returns the number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Extracts the underlying event vector.
+    pub fn into_events(self) -> Vec<MemoryAccess> {
+        self.events
+    }
+
+    /// Returns an iterator over recorded events.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemoryAccess> {
+        self.events.iter()
+    }
+}
+
+impl TraceSink for VecTrace {
+    fn accept(&mut self, access: MemoryAccess) {
+        self.stats.observe(&access);
+        self.events.push(access);
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        for event in &self.events {
+            sink.accept(*event);
+        }
+    }
+}
+
+impl FromIterator<MemoryAccess> for VecTrace {
+    fn from_iter<I: IntoIterator<Item = MemoryAccess>>(iter: I) -> Self {
+        let mut trace = VecTrace::new();
+        for event in iter {
+            trace.accept(event);
+        }
+        trace
+    }
+}
+
+impl Extend<MemoryAccess> for VecTrace {
+    fn extend<I: IntoIterator<Item = MemoryAccess>>(&mut self, iter: I) {
+        for event in iter {
+            self.accept(event);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VecTrace {
+    type Item = &'a MemoryAccess;
+    type IntoIter = std::slice::Iter<'a, MemoryAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for VecTrace {
+    type Item = MemoryAccess;
+    type IntoIter = std::vec::IntoIter<MemoryAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Address, Cycle, Pc};
+
+    fn sample() -> Vec<MemoryAccess> {
+        vec![
+            MemoryAccess::fetch(Cycle::new(0), Pc::new(0x100)),
+            MemoryAccess::load(Cycle::new(1), Pc::new(0x104), Address::new(0x9000)),
+            MemoryAccess::store(Cycle::new(2), Pc::new(0x108), Address::new(0x9008)),
+        ]
+    }
+
+    #[test]
+    fn collect_and_replay() {
+        let trace: VecTrace = sample().into_iter().collect();
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+
+        let mut replay = VecTrace::new();
+        trace.clone().run(&mut replay);
+        assert_eq!(replay.events(), trace.events());
+    }
+
+    #[test]
+    fn stats_track_kinds() {
+        let trace: VecTrace = sample().into_iter().collect();
+        let stats = trace.stats();
+        assert_eq!(stats.fetches, 1);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.total(), 3);
+    }
+
+    #[test]
+    fn pair_sink_forwards_to_both() {
+        let mut a = VecTrace::new();
+        let mut b = VecTrace::new();
+        {
+            let mut pair = (&mut a, &mut b);
+            pair.accept(MemoryAccess::fetch(Cycle::new(0), Pc::new(1)));
+        }
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn extend_and_iterators() {
+        let mut trace = VecTrace::new();
+        trace.extend(sample());
+        assert_eq!(trace.iter().count(), 3);
+        assert_eq!((&trace).into_iter().count(), 3);
+        assert_eq!(trace.clone().into_iter().count(), 3);
+        assert_eq!(trace.into_events().len(), 3);
+    }
+}

@@ -1,0 +1,394 @@
+//! Reusable computational kernels for building custom workloads.
+//!
+//! The six shipped benchmark analogs are hand-assembled [`Phase`]s; this
+//! module packages the common building blocks as parameterized kernels
+//! with documented locality signatures, so downstream users can compose
+//! workloads that stress a leakage policy in a chosen way:
+//!
+//! | kernel | data pattern | prefetch signature |
+//! |---|---|---|
+//! | [`stream_copy`] | two sequential sweeps | next-line |
+//! | [`matmul_blocked`] | hot block + strided panel walks | stride + resident reuse |
+//! | [`stencil2d`] | three row-offset sequential sweeps | next-line |
+//! | [`hash_join`] | sequential probe input + random table | mixed |
+//! | [`btree_probe`] | pointer chases over node pools | none |
+//! | [`idle_service`] | tiny hot working set | none (short intervals) |
+//!
+//! Each kernel returns a [`Phase`]; glue phases into a [`Spec`](crate::Spec) and run
+//! it with [`Benchmark::from_spec`](crate::Benchmark::from_spec).
+//!
+//! # Examples
+//!
+//! ```
+//! use leakage_workloads::{kernels, Benchmark, Scale, Spec};
+//! use leakage_trace::{TraceSource, VecTrace};
+//!
+//! let spec = Spec {
+//!     name: "custom",
+//!     seed: 7,
+//!     phases: vec![
+//!         kernels::stream_copy(kernels::Region::new(0x0100_0000, 0x4000_0000), 512 * 1024, 120_000),
+//!         kernels::idle_service(kernels::Region::new(0x0200_0000, 0x5000_0000), 200_000),
+//!     ],
+//! };
+//! let mut trace = VecTrace::new();
+//! Benchmark::from_spec(spec, Scale::Test).run(&mut trace);
+//! assert!(trace.len() > 100_000);
+//! ```
+
+use crate::{CodeTier, Phase, StreamSpec};
+
+const KB: u64 = 1024;
+
+/// Address-space slot for one kernel: where its code and data live.
+///
+/// Kernels sharing a [`Spec`](crate::Spec) should use disjoint regions (the shipped
+/// analogs space code 1 MB and data 16 MB apart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the kernel's code.
+    pub code_base: u64,
+    /// First byte of the kernel's data.
+    pub data_base: u64,
+}
+
+impl Region {
+    /// Creates a region.
+    pub const fn new(code_base: u64, data_base: u64) -> Self {
+        Region {
+            code_base,
+            data_base,
+        }
+    }
+
+    fn code(&self, index: u64) -> u64 {
+        self.code_base + index * 0x4_0000 // 256 KB apart
+    }
+
+    fn data(&self, index: u64) -> u64 {
+        self.data_base + index * 0x100_0000 // 16 MB apart
+    }
+}
+
+/// `memcpy`-like streaming: read one array, write another, sequentially.
+/// Nearly every data interval is next-line prefetchable; the tiny code
+/// loop keeps the instruction cache cold beyond a few lines.
+pub fn stream_copy(region: Region, bytes: u64, duration: u64) -> Phase {
+    Phase {
+        duration,
+        code: vec![
+            CodeTier { base: region.code(0), bytes: KB, every: 1 },
+            CodeTier { base: region.code(1), bytes: 4 * KB, every: 40 },
+        ],
+        streams: vec![
+            (
+                StreamSpec::Seq {
+                    base: region.data(0),
+                    bytes,
+                    stride: 8,
+                    store_frac: 0.0,
+                },
+                1.0,
+            ),
+            (
+                StreamSpec::Seq {
+                    base: region.data(1),
+                    bytes,
+                    stride: 8,
+                    store_frac: 1.0,
+                },
+                1.0,
+            ),
+        ],
+        data_density: 0.5,
+        branchiness: 0.0,
+        segment_shuffle: 0,
+    }
+}
+
+/// Blocked matrix multiply: a cache-resident block is reused intensely
+/// while panels of the other operand stream past with a large stride —
+/// the stride prefetcher's showcase.
+pub fn matmul_blocked(region: Region, matrix_bytes: u64, row_stride: u64, duration: u64) -> Phase {
+    Phase {
+        duration,
+        code: vec![
+            CodeTier { base: region.code(0), bytes: 2 * KB, every: 1 },
+            CodeTier { base: region.code(1), bytes: 6 * KB, every: 24 },
+        ],
+        streams: vec![
+            // The resident block: hot reuse.
+            (
+                StreamSpec::HotCold {
+                    base: region.data(0),
+                    hot_bytes: 8 * KB,
+                    cold_bytes: 8 * KB,
+                    p_hot: 0.7,
+                },
+                2.0,
+            ),
+            // Row-major panel: sequential.
+            (
+                StreamSpec::Seq {
+                    base: region.data(1),
+                    bytes: matrix_bytes,
+                    stride: 8,
+                    store_frac: 0.0,
+                },
+                0.6,
+            ),
+            // Column-major panel: strided by the row length.
+            (
+                StreamSpec::Strided {
+                    base: region.data(2),
+                    bytes: matrix_bytes,
+                    stride: row_stride,
+                },
+                0.4,
+            ),
+        ],
+        data_density: 0.45,
+        branchiness: 0.005,
+        segment_shuffle: 0,
+    }
+}
+
+/// A 2-D five-point stencil: three row-shifted sequential sweeps of the
+/// grid plus the output store stream.
+pub fn stencil2d(region: Region, grid_bytes: u64, duration: u64) -> Phase {
+    Phase {
+        duration,
+        code: vec![
+            CodeTier { base: region.code(0), bytes: KB + 512, every: 1 },
+            CodeTier { base: region.code(1), bytes: 5 * KB, every: 32 },
+        ],
+        streams: vec![
+            (
+                StreamSpec::Seq {
+                    base: region.data(0),
+                    bytes: grid_bytes,
+                    stride: 8,
+                    store_frac: 0.0,
+                },
+                1.5,
+            ),
+            (
+                StreamSpec::Seq {
+                    base: region.data(0) + grid_bytes / 2,
+                    bytes: grid_bytes / 2,
+                    stride: 8,
+                    store_frac: 0.0,
+                },
+                0.75,
+            ),
+            (
+                StreamSpec::Seq {
+                    base: region.data(1),
+                    bytes: grid_bytes,
+                    stride: 8,
+                    store_frac: 1.0,
+                },
+                0.75,
+            ),
+        ],
+        data_density: 0.48,
+        branchiness: 0.002,
+        segment_shuffle: 0,
+    }
+}
+
+/// A hash join: the probe input streams sequentially while the build
+/// table is hit at random — half the accesses prefetchable, half not.
+pub fn hash_join(region: Region, table_bytes: u64, probe_bytes: u64, duration: u64) -> Phase {
+    Phase {
+        duration,
+        code: vec![
+            CodeTier { base: region.code(0), bytes: 3 * KB, every: 1 },
+            CodeTier { base: region.code(1), bytes: 8 * KB, every: 16 },
+        ],
+        streams: vec![
+            (
+                StreamSpec::Seq {
+                    base: region.data(0),
+                    bytes: probe_bytes,
+                    stride: 8,
+                    store_frac: 0.05,
+                },
+                1.0,
+            ),
+            (
+                StreamSpec::HotCold {
+                    base: region.data(1),
+                    hot_bytes: 4 * KB,
+                    cold_bytes: table_bytes,
+                    p_hot: 0.3,
+                },
+                1.0,
+            ),
+        ],
+        data_density: 0.38,
+        branchiness: 0.04,
+        segment_shuffle: 12,
+    }
+}
+
+/// B-tree probes: pointer chases over a node pool with short in-node
+/// scans. Nearly unprefetchable — the adversary of §5's schemes.
+pub fn btree_probe(region: Region, nodes: u64, duration: u64) -> Phase {
+    Phase {
+        duration,
+        code: vec![
+            CodeTier { base: region.code(0), bytes: 2 * KB, every: 1 },
+            CodeTier { base: region.code(1), bytes: 6 * KB, every: 20 },
+        ],
+        streams: vec![
+            (
+                StreamSpec::Chase {
+                    base: region.data(0),
+                    nodes,
+                    node_bytes: 256,
+                    reads_per_node: 8,
+                },
+                2.0,
+            ),
+            (
+                StreamSpec::HotCold {
+                    base: region.data(1),
+                    hot_bytes: 2 * KB,
+                    cold_bytes: 6 * KB,
+                    p_hot: 0.8,
+                },
+                1.0,
+            ),
+        ],
+        data_density: 0.30,
+        branchiness: 0.05,
+        segment_shuffle: 12,
+    }
+}
+
+/// An idle service loop: a tiny hot working set polled at low density —
+/// the quiet phase that gives gated-Vdd its very long intervals.
+pub fn idle_service(region: Region, duration: u64) -> Phase {
+    Phase {
+        duration,
+        code: vec![
+            CodeTier { base: region.code(0), bytes: KB, every: 1 },
+            CodeTier { base: region.code(1), bytes: 3 * KB, every: 12 },
+        ],
+        streams: vec![(
+            StreamSpec::HotCold {
+                base: region.data(0),
+                hot_bytes: KB,
+                cold_bytes: 3 * KB,
+                p_hot: 0.8,
+            },
+            1.0,
+        )],
+        data_density: 0.08,
+        branchiness: 0.01,
+        segment_shuffle: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, Scale, Spec};
+    use leakage_trace::{TraceSource, VecTrace};
+
+    fn region(i: u64) -> Region {
+        Region::new(0x0100_0000 + i * 0x100_0000, 0x4000_0000 + i * 0x1000_0000)
+    }
+
+    fn run(phase: Phase) -> VecTrace {
+        let spec = Spec {
+            name: "kernel-test",
+            seed: 1,
+            phases: vec![phase],
+        };
+        spec.validate().expect("kernel produces a valid phase");
+        let mut trace = VecTrace::new();
+        Benchmark::from_spec(spec, Scale::Test).run(&mut trace);
+        trace
+    }
+
+    #[test]
+    fn all_kernels_produce_valid_phases() {
+        for phase in [
+            stream_copy(region(0), 256 * KB, 100_000),
+            matmul_blocked(region(1), 512 * KB, 384, 100_000),
+            stencil2d(region(2), 256 * KB, 100_000),
+            hash_join(region(3), 128 * KB, 256 * KB, 100_000),
+            btree_probe(region(4), 4096, 100_000),
+            idle_service(region(5), 100_000),
+        ] {
+            let trace = run(phase);
+            assert!(trace.stats().fetches > 50_000);
+        }
+    }
+
+    #[test]
+    fn stream_copy_is_write_heavy_and_sequential() {
+        let trace = run(stream_copy(region(0), 256 * KB, 100_000));
+        let stats = trace.stats();
+        // Half the data ops are stores (the destination sweep).
+        let store_frac = stats.stores as f64 / stats.data_accesses() as f64;
+        assert!((store_frac - 0.5).abs() < 0.05, "store fraction {store_frac}");
+        // Consecutive loads from the source walk forward by 8 bytes.
+        let loads: Vec<u64> = trace
+            .iter()
+            .filter(|e| e.kind == leakage_trace::AccessKind::Load)
+            .map(|e| e.addr.raw())
+            .take(100)
+            .collect();
+        let sequential = loads.windows(2).filter(|w| w[1] == w[0] + 8).count();
+        assert!(sequential > 80, "sequential pairs: {sequential}");
+    }
+
+    #[test]
+    fn btree_probe_addresses_are_scattered() {
+        let trace = run(btree_probe(region(0), 4096, 100_000));
+        // Distinct data lines touched should be a large fraction of the
+        // pool (the chase covers it), unlike a hot loop.
+        let lines: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter(|e| e.kind.is_data() && e.addr.raw() >= 0x4000_0000)
+            .map(|e| e.addr.raw() >> 6)
+            .collect();
+        assert!(lines.len() > 2_000, "chase touched {} lines", lines.len());
+    }
+
+    #[test]
+    fn idle_service_has_low_density_and_tiny_footprint() {
+        let trace = run(idle_service(region(0), 100_000));
+        let stats = trace.stats();
+        let density = stats.data_accesses() as f64 / stats.fetches as f64;
+        assert!(density < 0.1, "density {density}");
+        let lines: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter(|e| e.kind.is_data())
+            .map(|e| e.addr.raw() >> 6)
+            .collect();
+        assert!(lines.len() <= 64, "footprint {} lines", lines.len());
+    }
+
+    #[test]
+    fn matmul_trains_the_stride_signature() {
+        // The strided panel produces constant 384-byte deltas from one pc.
+        let trace = run(matmul_blocked(region(0), 512 * KB, 384, 100_000));
+        let mut per_pc: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for e in trace.iter().filter(|e| e.kind.is_data()) {
+            per_pc.entry(e.pc.raw()).or_default().push(e.addr.raw());
+        }
+        let strided = per_pc.values().any(|addrs| {
+            addrs
+                .windows(2)
+                .filter(|w| w[1].wrapping_sub(w[0]) == 384)
+                .count()
+                > addrs.len() / 2
+        });
+        assert!(strided, "one stream must show a constant 384-byte stride");
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: from a workload to oracle leakage savings in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs the `gzip` analog through the Alpha-like hierarchy, extracts the
+//! per-frame access intervals of both L1 caches, and reports how much
+//! leakage energy the paper's oracle policies could save at 70 nm.
+
+use cache_leakage_limits::core::policy::{DecaySleep, OptDrowsy, OptHybrid, OptSleep, PolicyBank};
+use cache_leakage_limits::core::{CircuitParams, EnergyContext, RefetchAccounting};
+use cache_leakage_limits::energy::TechnologyNode;
+use cache_leakage_limits::experiments::profile_benchmark;
+use cache_leakage_limits::workloads::{gzip, Scale};
+
+fn main() {
+    // 1. Simulate: workload -> cache hierarchy -> interval extraction.
+    let mut workload = gzip(Scale::Small);
+    let profile = profile_benchmark(&mut workload);
+    println!(
+        "profiled {}: {} I-cache / {} D-cache accesses over {} cycles",
+        profile.name,
+        profile.icache.cache.accesses,
+        profile.dcache.cache.accesses,
+        profile.icache.total_cycles,
+    );
+
+    // 2. Pick the paper's headline operating point (70 nm).
+    let ctx = EnergyContext::new(
+        CircuitParams::for_node(TechnologyNode::N70),
+        RefetchAccounting::PaperStrict,
+    );
+    let points = ctx.inflection_points();
+    println!(
+        "inflection points: active-drowsy at {} cycles, drowsy-sleep at {} cycles",
+        points.active_drowsy, points.drowsy_sleep
+    );
+
+    // 3. Evaluate a bank of management schemes in one pass.
+    let mut bank = PolicyBank::new();
+    bank.push(OptDrowsy);
+    bank.push(DecaySleep::ten_k());
+    bank.push(OptSleep::ten_k());
+    bank.push(OptHybrid::new());
+
+    for (label, dist) in [
+        ("I-cache", &profile.icache.dist),
+        ("D-cache", &profile.dcache.dist),
+    ] {
+        println!("\n{label} leakage savings vs always-active:");
+        for (name, eval) in bank.evaluate(&ctx, dist) {
+            println!("  {name:<16} {:>5.1}%", eval.saving_percent());
+        }
+    }
+}

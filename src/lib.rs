@@ -1,0 +1,46 @@
+//! # cache-leakage-limits
+//!
+//! A complete Rust reproduction of *"On the Limits of Leakage Power
+//! Reduction in Caches"* (Meng, Sherwood, Kastner — HPCA 2005): a limit
+//! study of how much cache leakage energy the drowsy (state-preserving)
+//! and gated-Vdd/sleep (state-destroying) circuit techniques can save
+//! given oracle knowledge of the address trace.
+//!
+//! This facade crate re-exports every workspace member under one roof:
+//!
+//! * [`trace`] — timed memory-access events.
+//! * [`cachesim`] — the Alpha-21264-like cache hierarchy.
+//! * [`energy`] — technology nodes, leakage & dynamic energy models.
+//! * [`intervals`] — per-frame access-interval extraction.
+//! * [`core`] — the paper's contribution: interval energies, inflection
+//!   points, oracle policies and the generalized savings model.
+//! * [`prefetch`] — next-line/stride prefetchability and the Prefetch-A/B
+//!   management schemes.
+//! * [`online`] — timeline simulation of implementable controllers
+//!   (decay counters, periodic drowsy, feedback-adaptive decay).
+//! * [`workloads`] — the six SPEC2000-analog synthetic benchmarks.
+//! * [`experiments`] — the harness regenerating every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cache_leakage_limits::core::{CircuitParams, IntervalEnergyModel};
+//! use cache_leakage_limits::energy::TechnologyNode;
+//!
+//! // The paper's 70nm operating point.
+//! let params = CircuitParams::for_node(TechnologyNode::N70);
+//! let model = IntervalEnergyModel::new(params);
+//! let points = model.inflection_points();
+//! assert_eq!(points.active_drowsy, 6);
+//! assert_eq!(points.drowsy_sleep, 1057);
+//! ```
+
+pub use leakage_cachesim as cachesim;
+pub use leakage_core as core;
+pub use leakage_energy as energy;
+pub use leakage_experiments as experiments;
+pub use leakage_intervals as intervals;
+pub use leakage_online as online;
+pub use leakage_prefetch as prefetch;
+pub use leakage_trace as trace;
+pub use leakage_workloads as workloads;
