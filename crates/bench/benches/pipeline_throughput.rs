@@ -2,9 +2,11 @@
 //! simulation, interval extraction and prefetch analysis combined.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use leakage_experiments::profile_benchmark;
+use leakage_experiments::{
+    profile_benchmark, profile_suite, profile_suite_serial, profile_suite_uncached,
+};
 use leakage_trace::{TraceSink, TraceSource};
-use leakage_workloads::{gzip, suite, Scale};
+use leakage_workloads::{gzip, Scale};
 
 struct CountingSink(u64);
 
@@ -35,14 +37,20 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
 
+    // Serial vs rayon-parallel vs memoized suite profiling. The serial
+    // and parallel variants bypass the ProfileStore so they re-simulate
+    // every iteration; `memoized` pays one cold simulation per pair on
+    // the first iteration and then serves Arc clones.
     let mut group = c.benchmark_group("suite");
     group.sample_size(10);
-    group.bench_function("profile_all_six_test_scale", |b| {
-        b.iter(|| {
-            for mut bench in suite(Scale::Test) {
-                black_box(profile_benchmark(&mut bench));
-            }
-        })
+    group.bench_function("profile_all_six_serial", |b| {
+        b.iter(|| black_box(profile_suite_serial(Scale::Test)))
+    });
+    group.bench_function("profile_all_six_parallel", |b| {
+        b.iter(|| black_box(profile_suite_uncached(Scale::Test)))
+    });
+    group.bench_function("profile_all_six_memoized", |b| {
+        b.iter(|| black_box(profile_suite(Scale::Test)))
     });
     group.finish();
 }

@@ -23,7 +23,10 @@ use leakage_energy::Energy;
 use leakage_intervals::{IntervalClass, IntervalKind};
 
 /// A leakage management scheme.
-pub trait LeakagePolicy {
+///
+/// Policies are plain data, so the trait requires `Send + Sync`: the
+/// experiment layer evaluates boxed schemes from parallel sweep workers.
+pub trait LeakagePolicy: Send + Sync {
     /// Human-readable scheme name (e.g. `"OPT-Hybrid"`).
     fn name(&self) -> &str;
 

@@ -23,6 +23,7 @@ use leakage_core::{
     RefetchAccounting, TransitionModel,
 };
 use leakage_energy::calibrate_refetch_energy;
+use rayon::prelude::*;
 
 /// Strict vs dead-aware refetch accounting for `OPT-Hybrid`, per cache.
 pub fn dead_intervals(profiles: &[BenchmarkProfile]) -> Table {
@@ -60,8 +61,17 @@ pub fn power_ratios(profiles: &[BenchmarkProfile]) -> Table {
             "D$ OPT-Hybrid %".to_string(),
         ],
     );
+    // The 3x3 grid points are independent; evaluate them in parallel
+    // and push the rows in grid order afterwards.
+    let mut grid = Vec::new();
     for &drowsy_ratio in &[0.2, 1.0 / 3.0, 0.5] {
         for &sleep_ratio in &[0.0, 0.005, 0.02] {
+            grid.push((drowsy_ratio, sleep_ratio));
+        }
+    }
+    let rows: Vec<Vec<String>> = grid
+        .par_iter()
+        .map(|&(drowsy_ratio, sleep_ratio)| {
             let params = CircuitParams::builder()
                 .powers(ModePowers::from_ratios(
                     base.powers().active,
@@ -77,14 +87,17 @@ pub fn power_ratios(profiles: &[BenchmarkProfile]) -> Table {
             let ctx = EnergyContext::new(params, RefetchAccounting::PaperStrict);
             let i = average_saving(&ctx, profiles, Level1::Instruction, &OptHybrid::new());
             let d = average_saving(&ctx, profiles, Level1::Data, &OptHybrid::new());
-            table.push_row(vec![
+            vec![
                 format!("{drowsy_ratio:.3}"),
                 format!("{sleep_ratio:.3}"),
                 b.to_string(),
                 pct(i),
                 pct(d),
-            ]);
-        }
+            ]
+        })
+        .collect();
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -180,8 +193,8 @@ pub fn l2_limits(scale: leakage_workloads::Scale) -> Table {
         headers,
     );
     let profiles: Vec<_> = leakage_workloads::suite(scale)
-        .iter_mut()
-        .map(crate::profile_l2)
+        .into_par_iter()
+        .map(|mut bench| crate::profile_l2(&mut bench))
         .collect();
     for node in leakage_core::TechnologyNode::ALL {
         let model = GeneralizedModel::from_params(CircuitParams::for_node(node));
@@ -224,22 +237,41 @@ pub fn geometry(scale: leakage_workloads::Scale) -> Table {
         CircuitParams::for_node(HEADLINE_NODE),
         RefetchAccounting::PaperStrict,
     );
-    for (label, ways, line) in [
+    // All 30 (geometry, benchmark) profiles come from the shared store
+    // — the paper-geometry row reuses the suite profiles every other
+    // experiment already fetched — and the fetches run in parallel over
+    // the flattened grid.
+    let geometries = [
         ("64KB 2-way 64B (paper)", 2u32, 64u32),
         ("64KB 1-way 64B", 1, 64),
         ("64KB 4-way 64B", 4, 64),
         ("64KB 2-way 32B", 2, 32),
         ("64KB 2-way 128B", 2, 128),
-    ] {
-        let config = HierarchyConfig {
-            l1d: CacheConfig::new("L1D", 64 * 1024, ways, line, 3).expect("valid geometry"),
-            ..HierarchyConfig::alpha_like()
-        };
+    ];
+    let points: Vec<(usize, &str)> = (0..geometries.len())
+        .flat_map(|g| leakage_workloads::SUITE_NAMES.map(|name| (g, name)))
+        .collect();
+    let profiles: Vec<_> = points
+        .par_iter()
+        .map(|&(g, name)| {
+            let (_, ways, line) = geometries[g];
+            let config = HierarchyConfig {
+                l1d: CacheConfig::new("L1D", 64 * 1024, ways, line, 3).expect("valid geometry"),
+                ..HierarchyConfig::alpha_like()
+            };
+            crate::store::ProfileStore::global().fetch_with(name, scale, &config)
+        })
+        .collect();
+    for (g, (label, _, _)) in geometries.iter().enumerate() {
         let mut hybrid = Vec::new();
         let mut sleep = Vec::new();
         let mut miss = Vec::new();
-        for mut bench in leakage_workloads::suite(scale) {
-            let profile = crate::profile_benchmark_with(&mut bench, config.clone());
+        for profile in profiles
+            .iter()
+            .zip(&points)
+            .filter(|(_, &(point_g, _))| point_g == g)
+            .map(|(profile, _)| profile)
+        {
             hybrid.push(
                 ctx.evaluate(&OptHybrid::new(), &profile.dcache.dist)
                     .saving_percent(),
@@ -287,13 +319,14 @@ pub fn line_centric(scale: leakage_workloads::Scale) -> Table {
             "D$ line".to_string(),
         ],
     );
-    // Gather both views per benchmark.
-    let mut frame_profiles = Vec::new();
-    let mut line_profiles = Vec::new();
-    for mut bench in leakage_workloads::suite(scale) {
-        frame_profiles.push(crate::profile_benchmark(&mut bench));
-        line_profiles.push(crate::profile_line_centric(&mut bench));
-    }
+    // Gather both views per benchmark: frame view from the shared
+    // store, line view extracted in parallel (it has no cache — the
+    // line-centric sweep is this ablation's private definition).
+    let frame_profiles = crate::cached_suite(scale);
+    let line_profiles: Vec<_> = leakage_workloads::suite(scale)
+        .into_par_iter()
+        .map(|mut bench| crate::profile_line_centric(&mut bench))
+        .collect();
     for node in TechnologyNode::ALL {
         let ctx = EnergyContext::new(
             CircuitParams::for_node(node),
@@ -419,11 +452,11 @@ pub fn calibration_consistency() -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::{vortex, Scale};
+    use crate::cached_profile;
+    use leakage_workloads::Scale;
 
     fn profiles() -> Vec<BenchmarkProfile> {
-        vec![profile_benchmark(&mut vortex(Scale::Test))]
+        vec![cached_profile("vortex", Scale::Test).as_ref().clone()]
     }
 
     #[test]

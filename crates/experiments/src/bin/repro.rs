@@ -237,4 +237,14 @@ fn main() {
             }
         }
     }
+
+    let counters = leakage_experiments::ProfileStore::global().counters();
+    if counters.total() > 0 {
+        eprintln!(
+            "profile store: {} fetches served by {} simulations + {} disk loads",
+            counters.total(),
+            counters.misses,
+            counters.disk_hits
+        );
+    }
 }

@@ -158,11 +158,10 @@ pub fn footprints(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::gzip;
+    use crate::cached_profile;
 
     fn profiles() -> Vec<BenchmarkProfile> {
-        vec![profile_benchmark(&mut gzip(Scale::Test))]
+        vec![cached_profile("gzip", Scale::Test).as_ref().clone()]
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::{BenchmarkProfile, Table, HEADLINE_NODE};
 use leakage_cachesim::Level1;
 use leakage_core::policy::{OptHybrid, OptSleep};
 use leakage_core::{CircuitParams, EnergyContext, RefetchAccounting};
+use rayon::prelude::*;
 
 /// The paper's x-axis: minimum interval lengths eligible for sleep,
 /// from the 70 nm inflection point up to 10 000 cycles.
@@ -14,14 +15,15 @@ pub const SLEEP_FLOORS: [u64; 12] = [
 ];
 
 /// The two Fig. 7 series for one cache side: for each sleep floor, the
-/// average savings of sleep-only and of the hybrid.
+/// average savings of sleep-only and of the hybrid. Floors are
+/// independent design points, evaluated in parallel.
 pub fn series(profiles: &[BenchmarkProfile], side: Level1) -> Vec<(u64, f64, f64)> {
     let ctx = EnergyContext::new(
         CircuitParams::for_node(HEADLINE_NODE),
         RefetchAccounting::PaperStrict,
     );
     SLEEP_FLOORS
-        .iter()
+        .par_iter()
         .map(|&floor| {
             let sleep = average_saving(&ctx, profiles, side, &OptSleep::new(floor));
             let hybrid = average_saving(&ctx, profiles, side, &OptHybrid::with_min_sleep(floor));
@@ -55,12 +57,12 @@ pub fn generate(profiles: &[BenchmarkProfile]) -> (Table, Table) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::{applu, Scale};
+    use crate::cached_profile;
+    use leakage_workloads::Scale;
 
     #[test]
     fn hybrid_dominates_and_gap_shrinks_toward_inflection() {
-        let profiles = vec![profile_benchmark(&mut applu(Scale::Test))];
+        let profiles = vec![cached_profile("applu", Scale::Test).as_ref().clone()];
         let series = series(&profiles, Level1::Instruction);
         assert_eq!(series.len(), SLEEP_FLOORS.len());
         for &(floor, sleep, hybrid) in &series {
@@ -82,7 +84,7 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        let profiles = vec![profile_benchmark(&mut applu(Scale::Test))];
+        let profiles = vec![cached_profile("applu", Scale::Test).as_ref().clone()];
         let (i, d) = generate(&profiles);
         assert!(i.to_text().contains("Instruction"));
         assert!(d.to_text().contains("Data"));

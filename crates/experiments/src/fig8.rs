@@ -8,6 +8,7 @@ use leakage_core::policy::{
     DecaySleep, LeakagePolicy, OptDrowsy, OptHybrid, OptSleep, PrefetchGuided, PrefetchScheme,
 };
 use leakage_core::{CircuitParams, EnergyContext, RefetchAccounting};
+use rayon::prelude::*;
 
 /// The six schemes of Fig. 8, in the paper's bar order.
 pub fn schemes() -> Vec<Box<dyn LeakagePolicy>> {
@@ -22,14 +23,15 @@ pub fn schemes() -> Vec<Box<dyn LeakagePolicy>> {
 }
 
 /// Fig. 8's numbers for one cache side: per scheme, the per-benchmark
-/// savings plus the suite average (last entry).
+/// savings plus the suite average (last entry). Schemes are evaluated
+/// in parallel (`LeakagePolicy: Send + Sync` exists for this sweep).
 pub fn series(profiles: &[BenchmarkProfile], side: Level1) -> Vec<(String, Vec<f64>)> {
     let ctx = EnergyContext::new(
         CircuitParams::for_node(HEADLINE_NODE),
         RefetchAccounting::PaperStrict,
     );
     schemes()
-        .iter()
+        .par_iter()
         .map(|policy| {
             let mut savings = per_benchmark_savings(&ctx, profiles, side, policy.as_ref());
             savings.push(mean(&savings));
@@ -67,13 +69,13 @@ pub fn generate(profiles: &[BenchmarkProfile]) -> (Table, Table) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::{gzip, mesa, Scale};
+    use crate::cached_profile;
+    use leakage_workloads::Scale;
 
     fn profiles() -> Vec<BenchmarkProfile> {
         vec![
-            profile_benchmark(&mut gzip(Scale::Test)),
-            profile_benchmark(&mut mesa(Scale::Test)),
+            cached_profile("gzip", Scale::Test).as_ref().clone(),
+            cached_profile("mesa", Scale::Test).as_ref().clone(),
         ]
     }
 

@@ -172,12 +172,12 @@ pub fn generate(profiles: &[BenchmarkProfile]) -> (Table, Table) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::{applu, gcc, Scale};
+    use crate::cached_profile;
+    use leakage_workloads::Scale;
 
     #[test]
     fn percentages_sum_to_one_hundred() {
-        let profile = profile_benchmark(&mut applu(Scale::Test));
+        let profile = cached_profile("applu", Scale::Test);
         for side in [Level1::Instruction, Level1::Data] {
             let p = analyze(&profile, side);
             let sum = p.short
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn icache_has_no_stride_prefetchability() {
-        let profile = profile_benchmark(&mut gcc(Scale::Test));
+        let profile = cached_profile("gcc", Scale::Test);
         let p = analyze(&profile, Level1::Instruction);
         assert_eq!(p.total_stride(), 0.0);
         assert!(p.total_nl() > 0.0, "sequential code is NL-prefetchable");
@@ -201,14 +201,14 @@ mod tests {
 
     #[test]
     fn applu_shows_stride_prefetchability_on_data() {
-        let profile = profile_benchmark(&mut applu(Scale::Test));
+        let profile = cached_profile("applu", Scale::Test);
         let p = analyze(&profile, Level1::Data);
         assert!(p.total_stride() > 0.0, "plane walks are stride-covered");
     }
 
     #[test]
     fn tables_have_four_rows() {
-        let profiles = vec![profile_benchmark(&mut applu(Scale::Test))];
+        let profiles = vec![cached_profile("applu", Scale::Test).as_ref().clone()];
         let (i, d) = generate(&profiles);
         assert_eq!(i.rows().len(), 4);
         assert_eq!(d.rows().len(), 4);

@@ -158,11 +158,11 @@ pub fn write_all(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::{gzip, Scale};
+    use crate::cached_profile;
+    use leakage_workloads::Scale;
 
     fn profiles() -> Vec<BenchmarkProfile> {
-        vec![profile_benchmark(&mut gzip(Scale::Test))]
+        vec![cached_profile("gzip", Scale::Test).as_ref().clone()]
     }
 
     #[test]

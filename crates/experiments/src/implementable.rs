@@ -93,12 +93,12 @@ pub fn generate(profiles: &[BenchmarkProfile]) -> (Table, Table) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::{gzip, Scale};
+    use crate::cached_profile;
+    use leakage_workloads::Scale;
 
     #[test]
     fn oracle_is_stall_free_and_dominant() {
-        let profiles = vec![profile_benchmark(&mut gzip(Scale::Test))];
+        let profiles = vec![cached_profile("gzip", Scale::Test).as_ref().clone()];
         for side in [Level1::Instruction, Level1::Data] {
             let rows = series(&profiles, side);
             let oracle = &rows[0];
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn prefetch_b_trades_stalls_for_savings_vs_a() {
-        let profiles = vec![profile_benchmark(&mut gzip(Scale::Test))];
+        let profiles = vec![cached_profile("gzip", Scale::Test).as_ref().clone()];
         let rows = series(&profiles, Level1::Data);
         let a = rows.iter().find(|r| r.0 == "Prefetch-A").unwrap();
         let b = rows.iter().find(|r| r.0 == "Prefetch-B").unwrap();
@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn decay_stalls_are_induced_misses() {
-        let profiles = vec![profile_benchmark(&mut gzip(Scale::Test))];
+        let profiles = vec![cached_profile("gzip", Scale::Test).as_ref().clone()];
         let rows = series(&profiles, Level1::Data);
         let decay = rows.iter().find(|r| r.0 == "Sleep(10K)").unwrap();
         let drowsy = rows.iter().find(|r| r.0 == "Drowsy(4K)").unwrap();
@@ -138,7 +138,7 @@ mod tests {
     fn implementable_hybrid_beats_its_components() {
         // The paper's conclusion, measured: when neither technique has
         // oracle knowledge, combining them wins.
-        let profiles = vec![profile_benchmark(&mut gzip(Scale::Test))];
+        let profiles = vec![cached_profile("gzip", Scale::Test).as_ref().clone()];
         let mut margin_over_drowsy = 0.0;
         for side in [Level1::Instruction, Level1::Data] {
             let rows = series(&profiles, side);
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        let profiles = vec![profile_benchmark(&mut gzip(Scale::Test))];
+        let profiles = vec![cached_profile("gzip", Scale::Test).as_ref().clone()];
         let (i, d) = generate(&profiles);
         assert_eq!(i.rows().len(), 6);
         assert!(d.to_text().contains("Stall"));

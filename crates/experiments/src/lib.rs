@@ -40,6 +40,7 @@ mod eval;
 pub mod figures;
 
 pub mod ablations;
+pub mod codec;
 pub mod fig1;
 pub mod fig10;
 pub mod fig3;
@@ -50,15 +51,18 @@ pub mod implementable;
 pub mod online;
 mod pipeline;
 mod render;
+pub mod store;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
 pub use pipeline::{
-    profile_benchmark, profile_benchmark_with, profile_l2, profile_line_centric, profile_suite,
+    cached_profile, cached_suite, profile_benchmark, profile_benchmark_with, profile_l2,
+    profile_line_centric, profile_suite, profile_suite_serial, profile_suite_uncached,
     BenchmarkProfile, CacheProfile,
 };
 pub use render::Table;
+pub use store::{ProfileStore, StoreCounters};
 
 use leakage_energy::TechnologyNode;
 

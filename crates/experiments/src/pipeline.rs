@@ -1,11 +1,14 @@
 //! The end-to-end profiling pipeline.
 
+use crate::store::ProfileStore;
 use leakage_cachesim::{CacheStats, Hierarchy, HierarchyConfig, Level1};
 use leakage_intervals::{CompactIntervalDist, IntervalExtractor, WakeHints};
 use leakage_prefetch::{PrefetchAnalyzer, PrefetchStats, WakeTrigger};
 use leakage_trace::{Cycle, LineAddr, MemoryAccess, TraceSink, TraceSource};
-use leakage_workloads::{suite, Benchmark, Scale};
+use leakage_workloads::{suite, Benchmark, Scale, SUITE_NAMES};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything the experiments need to know about one cache of one
 /// benchmark run: the interval distribution (the sufficient statistic
@@ -339,23 +342,60 @@ pub fn profile_line_centric(
     (sink.idist, sink.ddist, end.raw())
 }
 
-/// Profiles the whole six-benchmark suite at the given scale, one
-/// thread per benchmark.
+/// Profiles the whole six-benchmark suite at the given scale —
+/// benchmarks in parallel (rayon), results memoized in the global
+/// [`ProfileStore`], so a second call (from any experiment module in
+/// the same process) returns without simulating.
+///
+/// Thread count follows rayon's resolution order: a
+/// [`rayon::set_num_threads`] override, then the `LEAKAGE_THREADS` /
+/// `RAYON_NUM_THREADS` environment variables, then the machine's
+/// available parallelism.
 pub fn profile_suite(scale: Scale) -> Vec<BenchmarkProfile> {
-    let benchmarks = suite(scale);
-    let mut results: Vec<Option<BenchmarkProfile>> = Vec::new();
-    results.resize_with(benchmarks.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, mut bench) in results.iter_mut().zip(benchmarks) {
-            scope.spawn(move |_| {
-                *slot = Some(profile_benchmark(&mut bench));
-            });
-        }
-    })
-    .expect("profiling threads do not panic");
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
+    cached_suite(scale)
+        .iter()
+        .map(|profile| profile.as_ref().clone())
+        .collect()
+}
+
+/// Like [`profile_suite`] but sharing the memoized profiles without
+/// cloning them — prefer this when the caller only reads.
+pub fn cached_suite(scale: Scale) -> Vec<Arc<BenchmarkProfile>> {
+    SUITE_NAMES
+        .par_iter()
+        .map(|name| ProfileStore::global().fetch(name, scale))
+        .collect()
+}
+
+/// Fetches one suite benchmark's memoized profile from the global
+/// [`ProfileStore`], simulating only on first use. This is the fixture
+/// entry point for tests: every test touching `"gzip"` at
+/// [`Scale::Test`] shares one simulation per process.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`SUITE_NAMES`].
+pub fn cached_profile(name: &str, scale: Scale) -> Arc<BenchmarkProfile> {
+    ProfileStore::global().fetch(name, scale)
+}
+
+/// Profiles the suite in parallel *without* consulting any store:
+/// every call simulates all six benchmarks. The determinism tests and
+/// the criterion benches use this as the non-memoized comparison
+/// point.
+pub fn profile_suite_uncached(scale: Scale) -> Vec<BenchmarkProfile> {
+    suite(scale)
+        .into_par_iter()
+        .map(|mut bench| profile_benchmark(&mut bench))
+        .collect()
+}
+
+/// Profiles the suite serially on the calling thread, no store — the
+/// baseline the parallel paths are checked (and benchmarked) against.
+pub fn profile_suite_serial(scale: Scale) -> Vec<BenchmarkProfile> {
+    suite(scale)
+        .iter_mut()
+        .map(profile_benchmark)
         .collect()
 }
 
@@ -363,11 +403,10 @@ pub fn profile_suite(scale: Scale) -> Vec<BenchmarkProfile> {
 mod tests {
     use super::*;
     use leakage_intervals::IntervalKind;
-    use leakage_workloads::{applu, gzip};
 
     #[test]
     fn coverage_invariant_holds() {
-        let profile = profile_benchmark(&mut gzip(Scale::Test));
+        let profile = cached_profile("gzip", Scale::Test);
         assert!(profile.icache.covers_timeline());
         assert!(profile.dcache.covers_timeline());
         assert_eq!(profile.name, "gzip");
@@ -377,14 +416,14 @@ mod tests {
 
     #[test]
     fn icache_sees_fetches_dcache_sees_data() {
-        let profile = profile_benchmark(&mut applu(Scale::Test));
+        let profile = cached_profile("applu", Scale::Test);
         assert!(profile.icache.cache.accesses > profile.dcache.cache.accesses);
         assert!(profile.dcache.cache.accesses > 0);
     }
 
     #[test]
     fn prefetchers_fire() {
-        let profile = profile_benchmark(&mut applu(Scale::Test));
+        let profile = cached_profile("applu", Scale::Test);
         assert!(profile.icache.prefetch.next_line_triggers > 0);
         assert_eq!(profile.icache.prefetch.stride_triggers, 0);
         assert!(profile.dcache.prefetch.next_line_triggers > 0);
@@ -396,7 +435,7 @@ mod tests {
 
     #[test]
     fn some_intervals_carry_wake_hints() {
-        let profile = profile_benchmark(&mut applu(Scale::Test));
+        let profile = cached_profile("applu", Scale::Test);
         let hinted = profile
             .dcache
             .dist
@@ -406,10 +445,24 @@ mod tests {
 
     #[test]
     fn side_accessor() {
-        let profile = profile_benchmark(&mut gzip(Scale::Test));
+        let profile = cached_profile("gzip", Scale::Test);
         assert_eq!(
             profile.side(Level1::Instruction).num_frames,
             profile.icache.num_frames
         );
+    }
+
+    #[test]
+    fn suite_variants_agree() {
+        let memoized = profile_suite(Scale::Test);
+        let serial = profile_suite_serial(Scale::Test);
+        let uncached = profile_suite_uncached(Scale::Test);
+        assert_eq!(memoized.len(), 6);
+        for ((m, s), u) in memoized.iter().zip(&serial).zip(&uncached) {
+            assert_eq!(m.name, s.name);
+            assert_eq!(m.icache.dist, s.icache.dist);
+            assert_eq!(m.dcache.dist, u.dcache.dist);
+            assert_eq!(m.icache.cache, u.icache.cache);
+        }
     }
 }

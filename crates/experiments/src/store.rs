@@ -1,0 +1,390 @@
+//! Memoized benchmark profiles.
+//!
+//! Simulating a benchmark dominates every experiment's cost; the
+//! results are pure functions of `(benchmark, Scale, HierarchyConfig,
+//! generator version)`. A [`ProfileStore`] caches them so each pair is
+//! simulated **once per process** regardless of how many experiment
+//! modules ask — and, optionally, once per machine via an on-disk
+//! layer (see [`ProfileStore::with_disk_dir`]).
+//!
+//! # Keying and invalidation
+//!
+//! A store key is a stable FNV-1a hash over the benchmark name, the
+//! scale's cycle budget, every geometric parameter of the hierarchy
+//! (sizes, ways, line bytes, latencies), the workload generator
+//! version ([`leakage_workloads::GENERATOR_VERSION`]) and the codec
+//! format version. Changing the workload generator therefore requires
+//! bumping `GENERATOR_VERSION` — that one bump invalidates every
+//! memoized profile, in memory and on disk. Disk entries that fail to
+//! decode are treated as misses and overwritten, so corruption
+//! self-heals.
+//!
+//! # Concurrency
+//!
+//! Concurrent fetches of *different* keys simulate in parallel;
+//! concurrent fetches of the *same* key block on a per-key cell so the
+//! simulation still runs exactly once.
+
+use crate::codec;
+use crate::pipeline::{profile_benchmark_with, BenchmarkProfile};
+use leakage_cachesim::{CacheConfig, HierarchyConfig};
+use leakage_workloads::{by_name, Scale, GENERATOR_VERSION};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable naming a directory for the global store's
+/// on-disk profile layer (e.g. `results/profiles`). Unset: in-memory
+/// memoization only.
+pub const PROFILE_DIR_ENV: &str = "LEAKAGE_PROFILE_DIR";
+
+/// Snapshot of a store's counters (see [`ProfileStore::counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Fetches served from the in-memory map without simulating.
+    pub hits: u64,
+    /// Fetches that ran a fresh simulation.
+    pub misses: u64,
+    /// Fetches served by decoding an on-disk profile.
+    pub disk_hits: u64,
+}
+
+impl StoreCounters {
+    /// Total fetches observed.
+    pub fn total(self) -> u64 {
+        self.hits + self.misses + self.disk_hits
+    }
+}
+
+/// A memoization cache of [`BenchmarkProfile`]s.
+pub struct ProfileStore {
+    entries: Mutex<HashMap<u64, Arc<OnceLock<Arc<BenchmarkProfile>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_dir: Option<PathBuf>,
+}
+
+impl Default for ProfileStore {
+    fn default() -> Self {
+        ProfileStore::new()
+    }
+}
+
+impl ProfileStore {
+    /// An empty, in-memory-only store.
+    pub fn new() -> Self {
+        ProfileStore {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_dir: None,
+        }
+    }
+
+    /// A store that additionally persists profiles under `dir`
+    /// (created on first write). Unreadable or stale files are treated
+    /// as misses and rewritten.
+    pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
+        ProfileStore {
+            disk_dir: Some(dir.into()),
+            ..ProfileStore::new()
+        }
+    }
+
+    /// The process-wide store used by [`crate::profile_suite`] and the
+    /// experiment fixtures. Its disk layer is enabled when
+    /// [`PROFILE_DIR_ENV`] names a directory.
+    pub fn global() -> &'static ProfileStore {
+        static GLOBAL: OnceLock<ProfileStore> = OnceLock::new();
+        GLOBAL.get_or_init(|| match std::env::var(PROFILE_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => ProfileStore::with_disk_dir(dir),
+            _ => ProfileStore::new(),
+        })
+    }
+
+    /// The stable cache key for one `(benchmark, scale, config)` triple.
+    ///
+    /// Stable across processes and platforms: it hashes explicit
+    /// little-endian words, never in-memory layout.
+    pub fn profile_key(name: &str, scale: Scale, config: &HierarchyConfig) -> u64 {
+        let mut hash = Fnv::new();
+        hash.bytes(name.as_bytes());
+        hash.word(scale.cycles());
+        for cache in [&config.l1i, &config.l1d, &config.l2] {
+            hash_cache_geometry(&mut hash, cache);
+        }
+        hash.word(u64::from(config.memory_latency));
+        hash.word(u64::from(GENERATOR_VERSION));
+        hash.word(u64::from(codec::FORMAT_VERSION));
+        hash.finish()
+    }
+
+    /// Fetches (simulating at most once) the profile of a suite
+    /// benchmark under the paper's Alpha-like hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of
+    /// [`leakage_workloads::SUITE_NAMES`].
+    pub fn fetch(&self, name: &str, scale: Scale) -> Arc<BenchmarkProfile> {
+        self.fetch_with(name, scale, &HierarchyConfig::alpha_like())
+    }
+
+    /// Fetches (simulating at most once) the profile of a suite
+    /// benchmark under an arbitrary hierarchy — the entry point for
+    /// geometry sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of
+    /// [`leakage_workloads::SUITE_NAMES`].
+    pub fn fetch_with(
+        &self,
+        name: &str,
+        scale: Scale,
+        config: &HierarchyConfig,
+    ) -> Arc<BenchmarkProfile> {
+        let key = Self::profile_key(name, scale, config);
+        let cell = {
+            let mut entries = self.entries.lock().expect("store mutex never poisoned");
+            Arc::clone(entries.entry(key).or_default())
+        };
+        if let Some(profile) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(profile);
+        }
+        // Not yet resolved: exactly one caller runs the closure; any
+        // racing fetches of the same key block here, then count a hit.
+        let mut resolved_here = false;
+        let profile = cell.get_or_init(|| {
+            resolved_here = true;
+            Arc::new(self.resolve_miss(key, name, scale, config))
+        });
+        if !resolved_here {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(profile)
+    }
+
+    fn resolve_miss(
+        &self,
+        key: u64,
+        name: &str,
+        scale: Scale,
+        config: &HierarchyConfig,
+    ) -> BenchmarkProfile {
+        if let Some(profile) = self.load_from_disk(key, name) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return profile;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut bench = by_name(name, scale)
+            .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see SUITE_NAMES"));
+        let profile = profile_benchmark_with(&mut bench, config.clone());
+        self.save_to_disk(key, &profile);
+        profile
+    }
+
+    fn disk_path(&self, key: u64, name: &str) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{name}-{key:016x}.profile")))
+    }
+
+    fn load_from_disk(&self, key: u64, name: &str) -> Option<BenchmarkProfile> {
+        let path = self.disk_path(key, name)?;
+        let bytes = std::fs::read(&path).ok()?;
+        match codec::decode_profile(&bytes) {
+            // The key already fixes the benchmark, but verify the name
+            // anyway to catch hand-renamed files.
+            Ok(profile) if profile.name == name => Some(profile),
+            _ => None,
+        }
+    }
+
+    /// Best-effort: a failed write (read-only FS, disk full) degrades
+    /// to in-memory memoization rather than failing the experiment.
+    fn save_to_disk(&self, key: u64, profile: &BenchmarkProfile) {
+        let Some(path) = self.disk_path(key, &profile.name) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return;
+            }
+        }
+        let _ = write_atomically(&path, &codec::encode_profile(profile));
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every memoized profile (counters keep accumulating). Disk
+    /// files are untouched.
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .expect("store mutex never poisoned")
+            .clear();
+    }
+}
+
+/// Writes via a keyed temp file + rename so concurrent processes never
+/// observe a half-written profile.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn hash_cache_geometry(hash: &mut Fnv, cache: &CacheConfig) {
+    hash.word(cache.size_bytes());
+    hash.word(u64::from(cache.ways()));
+    hash.word(u64::from(cache.line_bytes()));
+    hash.word(u64::from(cache.hit_latency()));
+}
+
+/// FNV-1a, word-at-a-time over explicit little-endian bytes.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        // Length first so "ab"+"c" and "a"+"bc" differ.
+        self.word(bytes.len() as u64);
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn word(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_separate_every_dimension() {
+        let alpha = HierarchyConfig::alpha_like();
+        let base = ProfileStore::profile_key("gzip", Scale::Test, &alpha);
+        assert_eq!(base, ProfileStore::profile_key("gzip", Scale::Test, &alpha));
+        assert_ne!(base, ProfileStore::profile_key("gcc", Scale::Test, &alpha));
+        assert_ne!(base, ProfileStore::profile_key("gzip", Scale::Small, &alpha));
+        let wider = HierarchyConfig {
+            l1d: CacheConfig::new("L1D", 64 * 1024, 4, 64, 3).unwrap(),
+            ..HierarchyConfig::alpha_like()
+        };
+        assert_ne!(base, ProfileStore::profile_key("gzip", Scale::Test, &wider));
+        // Scale::Custom collapses onto the preset with the same budget:
+        // same workload, same profile, so the same key is correct.
+        assert_eq!(
+            base,
+            ProfileStore::profile_key("gzip", Scale::Custom(200_000), &alpha)
+        );
+    }
+
+    #[test]
+    fn fetch_simulates_once_then_hits() {
+        let store = ProfileStore::new();
+        let first = store.fetch("gzip", Scale::Test);
+        assert_eq!(
+            store.counters(),
+            StoreCounters { hits: 0, misses: 1, disk_hits: 0 }
+        );
+        let second = store.fetch("gzip", Scale::Test);
+        assert_eq!(
+            store.counters(),
+            StoreCounters { hits: 1, misses: 1, disk_hits: 0 }
+        );
+        // Same allocation, not merely an equal profile.
+        assert!(Arc::ptr_eq(&first, &second));
+        // A different benchmark is a distinct entry.
+        store.fetch("mesa", Scale::Test);
+        assert_eq!(store.counters().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_fetches_simulate_once() {
+        let store = ProfileStore::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| store.fetch("applu", Scale::Test));
+            }
+        });
+        assert_eq!(store.counters().misses, 1);
+        assert_eq!(store.counters().hits, 3);
+    }
+
+    #[test]
+    fn clear_forces_resimulation() {
+        let store = ProfileStore::new();
+        store.fetch("gzip", Scale::Test);
+        store.clear();
+        store.fetch("gzip", Scale::Test);
+        assert_eq!(store.counters().misses, 2);
+    }
+
+    #[test]
+    fn disk_layer_round_trips() {
+        let dir = std::env::temp_dir().join(format!("leakage-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let writer = ProfileStore::with_disk_dir(&dir);
+        let original = writer.fetch("gzip", Scale::Test);
+        assert_eq!(writer.counters().misses, 1);
+
+        // A fresh store (new process stand-in) reads the file back.
+        let reader = ProfileStore::with_disk_dir(&dir);
+        let reloaded = reader.fetch("gzip", Scale::Test);
+        assert_eq!(
+            reader.counters(),
+            StoreCounters { hits: 0, misses: 0, disk_hits: 1 }
+        );
+        assert_eq!(reloaded.name, original.name);
+        assert_eq!(reloaded.icache.dist, original.icache.dist);
+        assert_eq!(reloaded.dcache.cache, original.dcache.cache);
+
+        // Corrupt the file: the next fresh store self-heals by
+        // re-simulating.
+        let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        std::fs::write(&file, b"garbage").unwrap();
+        let healer = ProfileStore::with_disk_dir(&dir);
+        let healed = healer.fetch("gzip", Scale::Test);
+        assert_eq!(healer.counters().misses, 1);
+        assert_eq!(healed.icache.dist, original.icache.dist);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_benchmark_panics_with_context() {
+        let store = ProfileStore::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.fetch("perlbmk", Scale::Test)
+        }))
+        .unwrap_err();
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("perlbmk"), "{message}");
+    }
+}

@@ -6,6 +6,7 @@ use crate::{BenchmarkProfile, Table};
 use leakage_cachesim::Level1;
 use leakage_core::policy::{OptDrowsy, OptHybrid, OptSleep};
 use leakage_core::{CircuitParams, EnergyContext, RefetchAccounting, TechnologyNode};
+use rayon::prelude::*;
 
 /// One Table 2 column: the three optimal savings for both caches at one
 /// technology node.
@@ -51,8 +52,9 @@ pub fn generate(profiles: &[BenchmarkProfile]) -> Table {
         headers,
     );
 
+    // Nodes are independent design points; evaluate them in parallel.
     let all: Vec<NodeSavings> = TechnologyNode::ALL
-        .iter()
+        .par_iter()
         .map(|&node| node_savings(node, profiles))
         .collect();
 
@@ -108,12 +110,12 @@ pub fn headline_hybrid(profiles: &[BenchmarkProfile]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile_benchmark;
-    use leakage_workloads::{gzip, Scale};
+    use crate::cached_profile;
+    use leakage_workloads::Scale;
 
     #[test]
     fn structure_and_monotonicity() {
-        let profiles = vec![profile_benchmark(&mut gzip(Scale::Test))];
+        let profiles = vec![cached_profile("gzip", Scale::Test).as_ref().clone()];
         let table = generate(&profiles);
         assert_eq!(table.rows().len(), 8);
         assert_eq!(table.headers().len(), 5);

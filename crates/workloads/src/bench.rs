@@ -12,6 +12,16 @@ use leakage_trace::{TraceSink, TraceSource};
 
 const KB: u64 = 1024;
 
+/// Version of the synthetic workload generator.
+///
+/// Any change that alters the trace a benchmark emits for a given
+/// `(name, Scale)` — spec constants, the engine's interleaving, the
+/// RNG — MUST bump this constant. Profile caches (the experiment
+/// layer's `ProfileStore`) mix it into their keys, so a bump
+/// invalidates every memoized profile instead of silently serving
+/// results from the old generator.
+pub const GENERATOR_VERSION: u32 = 1;
+
 /// Simulation length presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[derive(Default)]
@@ -93,6 +103,9 @@ impl TraceSource for Benchmark {
     }
 }
 
+/// The suite's benchmark names in the paper's figure order.
+pub const SUITE_NAMES: [&str; 6] = ["ammp", "applu", "gcc", "gzip", "mesa", "vortex"];
+
 /// The full six-benchmark suite in the paper's figure order:
 /// `ammp`, `applu`, `gcc`, `gzip`, `mesa`, `vortex`.
 pub fn suite(scale: Scale) -> Vec<Benchmark> {
@@ -104,6 +117,21 @@ pub fn suite(scale: Scale) -> Vec<Benchmark> {
         mesa(scale),
         vortex(scale),
     ]
+}
+
+/// Constructs a suite benchmark by name, or `None` for a name outside
+/// [`SUITE_NAMES`]. This is the lookup profile caches use to
+/// re-simulate a missing entry.
+pub fn by_name(name: &str, scale: Scale) -> Option<Benchmark> {
+    match name {
+        "ammp" => Some(ammp(scale)),
+        "applu" => Some(applu(scale)),
+        "gcc" => Some(gcc(scale)),
+        "gzip" => Some(gzip(scale)),
+        "mesa" => Some(mesa(scale)),
+        "vortex" => Some(vortex(scale)),
+        _ => None,
+    }
 }
 
 // Address-space layout helpers: code regions live in low memory, one
@@ -613,7 +641,25 @@ mod tests {
     #[test]
     fn suite_has_six_named_benchmarks() {
         let names: Vec<&str> = suite(Scale::Test).iter().map(|b| b.name()).collect();
-        assert_eq!(names, ["ammp", "applu", "gcc", "gzip", "mesa", "vortex"]);
+        assert_eq!(names, SUITE_NAMES);
+    }
+
+    #[test]
+    fn by_name_round_trips_the_suite() {
+        for name in SUITE_NAMES {
+            let bench = by_name(name, Scale::Test).expect(name);
+            assert_eq!(bench.name(), name);
+        }
+        assert!(by_name("perlbmk", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn benchmarks_cross_threads() {
+        // The parallel profiling pipeline moves benchmarks into worker
+        // threads; this fails to compile if Benchmark loses Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<Benchmark>();
+        assert_send::<Scale>();
     }
 
     #[test]

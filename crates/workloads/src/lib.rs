@@ -54,7 +54,10 @@ mod rng;
 mod spec;
 mod streams;
 
-pub use bench::{ammp, applu, gcc, gzip, mesa, suite, vortex, Benchmark, Scale};
+pub use bench::{
+    ammp, applu, by_name, gcc, gzip, mesa, suite, vortex, Benchmark, Scale, GENERATOR_VERSION,
+    SUITE_NAMES,
+};
 pub use engine::Engine;
 pub use rng::SplitMix64;
 pub use spec::{CodeTier, Phase, Spec};

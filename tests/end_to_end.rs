@@ -109,7 +109,8 @@ fn savings_improve_as_technology_shrinks() {
 
 #[test]
 fn suite_profiling_is_deterministic_and_parallel_consistent() {
-    // The crossbeam-parallel suite profiling equals sequential runs.
+    // The rayon-parallel (and memoized) suite profiling equals
+    // sequential runs.
     let parallel = profile_suite(Scale::Test);
     let names: Vec<&str> = parallel.iter().map(|p| p.name.as_str()).collect();
     assert_eq!(names, ["ammp", "applu", "gcc", "gzip", "mesa", "vortex"]);

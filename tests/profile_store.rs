@@ -1,0 +1,75 @@
+//! Regression tests for the memoized profiling pipeline: every
+//! profiling path (serial, parallel, memoized, cold or warm) must
+//! produce byte-identical profiles, and experiment modules sharing one
+//! process must share one simulation per `(benchmark, config)` pair.
+
+use cache_leakage_limits::cachesim::Level1;
+use cache_leakage_limits::experiments::codec::encode_profile;
+use cache_leakage_limits::experiments::{
+    cached_profile, cached_suite, profile_suite, profile_suite_serial, profile_suite_uncached,
+    ProfileStore,
+};
+use cache_leakage_limits::workloads::{Scale, SUITE_NAMES};
+
+/// The determinism regression the ISSUE demands: the rayon-parallel
+/// memoized path, the serial path and the uncached parallel path all
+/// serialize to the same bytes — both on a cold store and on a warm
+/// one.
+#[test]
+fn all_profiling_paths_are_byte_identical() {
+    let cold: Vec<Vec<u8>> = profile_suite(Scale::Test).iter().map(encode_profile).collect();
+    let warm: Vec<Vec<u8>> = profile_suite(Scale::Test).iter().map(encode_profile).collect();
+    let serial: Vec<Vec<u8>> =
+        profile_suite_serial(Scale::Test).iter().map(encode_profile).collect();
+    let uncached: Vec<Vec<u8>> =
+        profile_suite_uncached(Scale::Test).iter().map(encode_profile).collect();
+
+    assert_eq!(cold.len(), SUITE_NAMES.len());
+    assert_eq!(cold, warm, "memoized re-fetch must not change a single byte");
+    assert_eq!(cold, serial, "parallel and serial profiling must agree");
+    assert_eq!(cold, uncached, "memoization must not change results");
+}
+
+/// The interval extraction invariant holds for the whole suite on both
+/// L1 sides: per frame, interval lengths sum to the timeline length.
+#[test]
+fn every_suite_profile_covers_the_timeline_on_both_sides() {
+    for profile in cached_suite(Scale::Test) {
+        for side in [Level1::Instruction, Level1::Data] {
+            assert!(
+                profile.side(side).covers_timeline(),
+                "{}/{side}: intervals must tile the frame timeline",
+                profile.name
+            );
+        }
+    }
+}
+
+/// Two different "experiment modules" (suite profiling and a
+/// per-benchmark fixture fetch) in one process trigger at most one
+/// simulation per `(benchmark, config)` pair. All tests in this binary
+/// fetch the same six Test-scale pairs, so the global miss counter can
+/// never exceed six no matter how the test threads interleave.
+#[test]
+fn modules_share_one_simulation_per_pair() {
+    cached_suite(Scale::Test); // module 1: the suite pipeline
+    for name in SUITE_NAMES {
+        cached_profile(name, Scale::Test); // module 2: per-benchmark fixtures
+    }
+    let counters = ProfileStore::global().counters();
+    assert!(
+        counters.misses + counters.disk_hits <= SUITE_NAMES.len() as u64,
+        "at most one simulation (or disk load) per pair, got {counters:?}"
+    );
+    // And the twelve fetches above were all served.
+    assert!(counters.total() >= 2 * SUITE_NAMES.len() as u64, "{counters:?}");
+}
+
+/// `cached_profile` hands out the same allocation, not merely equal
+/// data — downstream experiments share memory, not copies.
+#[test]
+fn cached_profiles_share_one_allocation() {
+    let a = cached_profile("gzip", Scale::Test);
+    let b = cached_profile("gzip", Scale::Test);
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+}

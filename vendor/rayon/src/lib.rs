@@ -1,0 +1,472 @@
+//! Offline, rayon-compatible data-parallelism layer.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `rayon` cannot be fetched. This crate implements the subset of
+//! rayon's API the workspace uses — `par_iter()` / `into_par_iter()`
+//! with `map`/`for_each`/`collect`, plus thread-count control — on top
+//! of `std::thread::scope`. A networked build can swap the real rayon
+//! back in without source changes.
+//!
+//! # Semantics
+//!
+//! * **Deterministic order.** Terminal operations preserve input order:
+//!   `collect::<Vec<_>>()` returns results in the same order a
+//!   sequential `iter().map().collect()` would, regardless of the
+//!   thread count or scheduling. The profiling pipeline's determinism
+//!   guarantees rest on this.
+//! * **Work stealing by index.** Workers pull the next unclaimed index
+//!   from a shared atomic counter, so uneven item costs (e.g. `gcc` vs
+//!   `gzip` trace lengths) balance automatically.
+//! * **Panic propagation.** A panic inside a worker is resumed on the
+//!   calling thread once all workers have stopped.
+//!
+//! # Thread-count control
+//!
+//! The pool size is resolved, in priority order, from
+//! [`set_num_threads`] (or [`ThreadPoolBuilder::build_global`]), the
+//! `LEAKAGE_THREADS` environment variable, the `RAYON_NUM_THREADS`
+//! environment variable, and finally [`std::thread::available_parallelism`].
+//! CI and benchmarks pin `LEAKAGE_THREADS=1` for reproducible timing;
+//! with one thread every operation runs inline on the caller with no
+//! spawning at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Re-exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Programmatic thread-count override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the global thread count, overriding the environment.
+///
+/// Passing `0` clears the override. Unlike real rayon this can be
+/// called at any time; operations already in flight are unaffected.
+pub fn set_num_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+/// Parses a thread-count environment value: a positive integer.
+fn parse_thread_env(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The thread count parallel operations will use right now.
+pub fn current_num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if overridden > 0 {
+        return overridden;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        for var in ["LEAKAGE_THREADS", "RAYON_NUM_THREADS"] {
+            if let Some(n) = std::env::var(var).ok().as_deref().and_then(parse_thread_env) {
+                return n;
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Mirror of rayon's global-pool builder, for callers that pin the
+/// thread count in code rather than through `LEAKAGE_THREADS`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with no explicit thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (`0` keeps the automatic
+    /// resolution order documented at the crate level).
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads;
+        self
+    }
+
+    /// Installs the setting globally. Never fails (the error type
+    /// exists for signature compatibility with real rayon).
+    pub fn build_global(self) -> Result<(), std::convert::Infallible> {
+        if self.num_threads > 0 {
+            set_num_threads(self.num_threads);
+        }
+        Ok(())
+    }
+}
+
+/// Runs `f(0..len)` across the pool, returning results in index order.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= len {
+                            break;
+                        }
+                        local.push((index, f(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+    });
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    for part in parts {
+        for (index, result) in part {
+            slots[index] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+/// The parallel-iterator traits and adapters.
+pub mod iter {
+    use super::run_indexed;
+    use std::ops::Range;
+    use std::sync::Mutex;
+
+    /// A data source that can run a closure over every item in
+    /// parallel, preserving index order in the output.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Applies `f` to every item across the pool; results come back
+        /// in input order. This is the single primitive every terminal
+        /// operation lowers to.
+        fn execute<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync;
+
+        /// Maps each item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Runs `f` on every item for its side effects.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            self.execute(|item| f(item));
+        }
+
+        /// Collects the items, preserving input order.
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            self.execute(|item| item).into_iter().collect()
+        }
+
+        /// Sums the items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + Send,
+        {
+            self.execute(|item| item).into_iter().sum()
+        }
+    }
+
+    /// Conversion into an owning parallel iterator
+    /// (`rayon::iter::IntoParallelIterator`).
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Consumes `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Borrowing conversion (`rayon::iter::IntoParallelRefIterator`):
+    /// adds `.par_iter()` to slices, arrays and `Vec`s.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed element type.
+        type Item: Send + 'a;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Parallel iterator over a borrowed slice.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync + 'a> ParallelIterator for ParIter<'a, T> {
+        type Item = &'a T;
+
+        fn execute<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            run_indexed(self.items.len(), |index| f(&self.items[index]))
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParIter<'a, T>;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<'a, T>;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+        type Item = &'a T;
+        type Iter = ParIter<'a, T>;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Parallel iterator that owns its items.
+    ///
+    /// Items are parked in per-slot mutexes so workers can take them by
+    /// index without `unsafe`; the per-item locking cost is irrelevant
+    /// for the coarse tasks (whole-benchmark simulations, policy
+    /// sweeps) this workspace parallelizes.
+    pub struct IntoParIter<T> {
+        items: Vec<Mutex<Option<T>>>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
+        type Item = T;
+
+        fn execute<R, F>(self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            let items = &self.items;
+            run_indexed(items.len(), |index| {
+                let item = items[index]
+                    .lock()
+                    .expect("no panics while holding an item slot")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                f(item)
+            })
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = IntoParIter<T>;
+
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter {
+                items: self.into_iter().map(|item| Mutex::new(Some(item))).collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = IntoParIter<usize>;
+
+        fn into_par_iter(self) -> IntoParIter<usize> {
+            self.collect::<Vec<_>>().into_par_iter()
+        }
+    }
+
+    /// The `map` adapter; composes the closure into the terminal
+    /// operation so the whole chain runs fused inside each worker.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn execute<R2, F2>(self, f2: F2) -> Vec<R2>
+        where
+            R2: Send,
+            F2: Fn(Self::Item) -> R2 + Sync,
+        {
+            let f = self.f;
+            self.base.execute(move |item| f2(f(item)))
+        }
+    }
+}
+
+/// Joins two closures, running them (potentially) in parallel and
+/// returning both results — rayon's binary fork primitive.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let mut left: Option<RA> = None;
+    let mut right: Option<RB> = None;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| b());
+        left = Some(a());
+        right = Some(handle.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+    });
+    (
+        left.expect("left closure ran"),
+        right.expect("right closure ran"),
+    )
+}
+
+/// Serializes the tests that mutate the global thread override.
+#[cfg(test)]
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        set_num_threads(n);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        set_num_threads(0);
+        result.unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+    }
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(parse_thread_env("4"), Some(4));
+        assert_eq!(parse_thread_env(" 12 "), Some(12));
+        assert_eq!(parse_thread_env("0"), None);
+        assert_eq!(parse_thread_env("-1"), None);
+        assert_eq!(parse_thread_env("many"), None);
+    }
+
+    #[test]
+    fn override_wins() {
+        with_threads(3, || assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn par_iter_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            let got: Vec<u64> =
+                with_threads(threads, || items.par_iter().map(|&x| x * 3 + 1).collect());
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let words: Vec<String> = vec!["a".into(), "bb".into(), "ccc".into()];
+        let lens: Vec<usize> =
+            with_threads(2, || words.into_par_iter().map(|w| w.len()).collect());
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arrays_and_ranges() {
+        let squares: Vec<usize> =
+            with_threads(2, || (0..10usize).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+        let arr = [10u64, 20, 30];
+        let sum: u64 = with_threads(2, || arr.par_iter().map(|&x| x).sum());
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        with_threads(4, || {
+            items.par_iter().for_each(|&x| {
+                total.fetch_add(x, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = with_threads(2, || join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                let items: Vec<u32> = (0..8).collect();
+                let _: Vec<u32> = items
+                    .par_iter()
+                    .map(|&x| if x == 5 { panic!("boom") } else { x })
+                    .collect();
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched from crates.io. Nothing in this workspace
+//! serializes through serde at runtime — on-disk profile persistence
+//! uses the explicit, versioned binary codec in `leakage-experiments`
+//! (see `DESIGN.md`) — but the types keep their
+//! `#[derive(Serialize, Deserialize)]` annotations so a networked build
+//! can substitute the real crate without source changes.
+//!
+//! The traits here are markers satisfied by every type, and the derive
+//! macros (re-exported from the no-op `serde_derive` stub) expand to
+//! nothing.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! This workspace builds in an environment with no access to crates.io,
+//! so the real `serde` cannot be fetched. The workspace never serializes
+//! through serde (profile persistence uses the hand-rolled binary codec
+//! in `leakage-experiments`), but many types carry
+//! `#[derive(Serialize, Deserialize)]` so that a future networked build
+//! can swap the real crate back in without touching the sources. Here
+//! the derives simply expand to nothing; the marker traits they would
+//! implement are blanket-implemented in the sibling `serde` stub.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
