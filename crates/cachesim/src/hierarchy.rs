@@ -168,6 +168,25 @@ impl Hierarchy {
         }
     }
 
+    /// Adds this hierarchy's accumulated hit/miss counters to the
+    /// global telemetry registry (`cachesim_<level>_{accesses,misses,
+    /// writebacks}_total`).
+    ///
+    /// Bulk post-hoc flushing keeps the per-access loop free of even
+    /// relaxed-atomic traffic: callers (the profiling pipeline) invoke
+    /// this once per simulated benchmark.
+    pub fn flush_telemetry(&self) {
+        for (level, cache) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            let stats = cache.stats();
+            let registry = leakage_telemetry::registry();
+            registry.counter(&format!("cachesim_{level}_accesses_total")).add(stats.accesses);
+            registry.counter(&format!("cachesim_{level}_misses_total")).add(stats.misses);
+            registry
+                .counter(&format!("cachesim_{level}_writebacks_total"))
+                .add(stats.writebacks);
+        }
+    }
+
     /// Routes one access through the hierarchy.
     pub fn access(&mut self, access: &MemoryAccess) -> HierarchyOutcome {
         let (side, l1) = match access.kind {

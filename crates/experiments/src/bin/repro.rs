@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale test|small|paper|<cycles>] [--csv] [EXPERIMENT ...]
+//! repro [--scale test|small|paper|<cycles>] [--csv] [--metrics] [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment names, everything is regenerated. Experiments:
@@ -13,11 +13,24 @@
 //! `--csv` prints CSV, `--out DIR` writes per-table CSV files,
 //! `--svg DIR` renders the figures, and `--report FILE` writes one
 //! combined Markdown report.
+//!
+//! # Observability
+//!
+//! Every regenerated table passes the reproduction checks in
+//! `leakage_experiments::checks`; a failed check makes the process
+//! exit non-zero, and the per-experiment verdicts are recorded in the
+//! run manifest. `--metrics` (or `LEAKAGE_TELEMETRY=json`) writes the
+//! manifest — config hashes, versions, thread count, ProfileStore and
+//! cache counters, hierarchical span timings — to
+//! `results/telemetry.json`; `LEAKAGE_TELEMETRY=prom` exports the
+//! registry to `results/telemetry.prom` instead. `LEAKAGE_LOG=info`
+//! surfaces progress logging (default `warn` keeps runs quiet).
 
 use leakage_experiments::{
-    ablations, fig1, fig10, fig3, fig7, fig8, fig9, implementable, online, profile_suite,
-    table1, table2, table3, BenchmarkProfile, Table,
+    ablations, checks, fig1, fig10, fig3, fig7, fig8, fig9, implementable, online,
+    profile_suite, table1, table2, table3, BenchmarkProfile, ProfileStore, Table,
 };
+use leakage_telemetry::{self as telemetry, error, info, Mode, RunManifest};
 use leakage_workloads::Scale;
 
 const ALL: &[&str] = &[
@@ -60,12 +73,20 @@ const NEEDS_PROFILES: &[&str] = &[
     "implementable",
 ];
 
+/// Where the JSON manifest and the Prometheus export land.
+const TELEMETRY_JSON: &str = "results/telemetry.json";
+const TELEMETRY_PROM: &str = "results/telemetry.prom";
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale test|small|paper|<cycles>] [--csv] [--svg DIR] [--out DIR] \
-         [EXPERIMENT ...]"
+         [--report FILE] [--metrics] [EXPERIMENT ...]"
     );
     eprintln!("experiments: {}", ALL.join(" "));
+    eprintln!(
+        "env: LEAKAGE_TELEMETRY=json|prom|off, LEAKAGE_LOG=error|warn|info|debug, \
+         LEAKAGE_THREADS=N, LEAKAGE_PROFILE_DIR=DIR"
+    );
     std::process::exit(2);
 }
 
@@ -75,6 +96,7 @@ fn main() {
     let mut svg_dir: Option<std::path::PathBuf> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut report_path: Option<std::path::PathBuf> = None;
+    let mut metrics = false;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -93,6 +115,7 @@ fn main() {
                 };
             }
             "--csv" => csv = true,
+            "--metrics" => metrics = true,
             "--svg" => {
                 let value = args.next().unwrap_or_else(|| usage());
                 svg_dir = Some(std::path::PathBuf::from(value));
@@ -114,15 +137,25 @@ fn main() {
         wanted = ALL.iter().map(|s| s.to_string()).collect();
     }
 
+    // `--metrics` is shorthand for LEAKAGE_TELEMETRY=json; an explicit
+    // env mode wins so `LEAKAGE_TELEMETRY=prom repro --metrics` exports
+    // Prometheus text.
+    let mode = match telemetry::emission_mode() {
+        Mode::Off if metrics => Mode::Json,
+        mode => mode,
+    };
+    telemetry::set_enabled(mode != Mode::Off);
+    let _root_span = telemetry::span("repro");
+
     let profiles: Option<Vec<BenchmarkProfile>> =
         if svg_dir.is_some() || wanted.iter().any(|w| NEEDS_PROFILES.contains(&w.as_str())) {
-            eprintln!(
+            info!(
                 "profiling the six-benchmark suite at {} cycles each...",
                 scale.cycles()
             );
             let start = std::time::Instant::now();
             let profiles = profile_suite(scale);
-            eprintln!("profiled in {:.1}s", start.elapsed().as_secs_f64());
+            info!("profiled in {:.1}s", start.elapsed().as_secs_f64());
             Some(profiles)
         } else {
             None
@@ -131,7 +164,7 @@ fn main() {
 
     if let Some(dir) = &out_dir {
         if let Err(err) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {err}", dir.display());
+            error!("cannot create {}: {err}", dir.display());
             std::process::exit(1);
         }
     }
@@ -147,7 +180,20 @@ fn main() {
             .join("-")
     };
     let report = std::cell::RefCell::new(String::new());
-    let emit = |table: &Table| {
+    // Each emitted table runs the reproduction checks; verdicts per
+    // experiment land in the manifest and drive the exit status.
+    let verdicts = std::cell::RefCell::new(Vec::<(String, bool)>::new());
+    let emit_checked = |experiment: &str, table: &Table| {
+        let passed = match checks::check_table(table)
+            .and_then(|()| checks::check_static_artifact(experiment, table))
+        {
+            Ok(()) => true,
+            Err(reason) => {
+                error!("reproduction check failed: {reason}");
+                false
+            }
+        };
+        verdicts.borrow_mut().push((experiment.to_string(), passed));
         if report_path.is_some() {
             let mut buffer = report.borrow_mut();
             buffer.push_str(&format!("## {}\n\n", table.title()));
@@ -163,17 +209,19 @@ fn main() {
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{}.csv", slug(table.title())));
             if let Err(err) = std::fs::write(&path, table.to_csv()) {
-                eprintln!("cannot write {}: {err}", path.display());
+                error!("cannot write {}: {err}", path.display());
                 std::process::exit(1);
             }
         }
     };
-    let emit_pair = |(a, b): (Table, Table)| {
-        emit(&a);
-        emit(&b);
-    };
 
     for name in &wanted {
+        let _span = telemetry::span(name);
+        let emit = |table: &Table| emit_checked(name, table);
+        let emit_pair = |(a, b): (Table, Table)| {
+            emit(&a);
+            emit(&b);
+        };
         let profiles = |experiment: &str| {
             profiles.unwrap_or_else(|| panic!("{experiment} requires profiles"))
         };
@@ -219,32 +267,94 @@ fn main() {
              Scale: {} cycles per benchmark.\n\n",
             scale.cycles()
         );
-        let body = report.into_inner();
+        let body = report.borrow().clone();
         if let Err(err) = std::fs::write(path, header + &body) {
-            eprintln!("cannot write {}: {err}", path.display());
+            error!("cannot write {}: {err}", path.display());
             std::process::exit(1);
         }
-        eprintln!("wrote report to {}", path.display());
+        info!("wrote report to {}", path.display());
     }
 
     if let Some(dir) = svg_dir {
         let profiles = profiles.expect("profiles exist when --svg is set");
         match leakage_experiments::figures::write_all(&dir, profiles) {
-            Ok(files) => eprintln!("wrote {} figures to {}", files.len(), dir.display()),
+            Ok(files) => info!("wrote {} figures to {}", files.len(), dir.display()),
             Err(err) => {
-                eprintln!("failed to write figures: {err}");
+                error!("failed to write figures: {err}");
                 std::process::exit(1);
             }
         }
     }
 
-    let counters = leakage_experiments::ProfileStore::global().counters();
+    let counters = ProfileStore::global().counters();
     if counters.total() > 0 {
-        eprintln!(
+        info!(
             "profile store: {} fetches served by {} simulations + {} disk loads",
             counters.total(),
             counters.misses,
             counters.disk_hits
         );
+    }
+
+    // Close the root span before snapshotting so its timing is part of
+    // the emitted profile.
+    drop(_root_span);
+
+    let mut manifest = RunManifest::new();
+    manifest.set("binary", "repro");
+    manifest.set("experiments", wanted.join(" "));
+    manifest.set("scale_cycles", scale.cycles());
+    manifest.set("threads", rayon::current_num_threads());
+    manifest.set("generator_version", leakage_workloads::GENERATOR_VERSION);
+    manifest.set("format_version", leakage_experiments::codec::FORMAT_VERSION);
+    manifest.set(
+        "config_hash",
+        format!(
+            "{:016x}",
+            ProfileStore::profile_key(
+                "suite",
+                scale,
+                &leakage_cachesim::HierarchyConfig::alpha_like()
+            )
+        ),
+    );
+    // Experiments emitting several tables (diagnostics, the paired
+    // figures) produce one verdict per table; AND them per experiment.
+    let mut combined = std::collections::BTreeMap::<String, bool>::new();
+    for (experiment, passed) in verdicts.borrow().iter() {
+        let entry = combined.entry(experiment.clone()).or_insert(true);
+        *entry = *entry && *passed;
+    }
+    for (experiment, passed) in &combined {
+        manifest.verdict(experiment, *passed);
+    }
+
+    match mode {
+        Mode::Json => {
+            if let Err(err) = manifest.write_json(TELEMETRY_JSON) {
+                error!("cannot write {TELEMETRY_JSON}: {err}");
+                std::process::exit(1);
+            }
+            info!("wrote telemetry to {TELEMETRY_JSON}");
+        }
+        Mode::Prom => {
+            if let Some(dir) = std::path::Path::new(TELEMETRY_PROM).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(err) = std::fs::write(TELEMETRY_PROM, telemetry::prometheus_text()) {
+                error!("cannot write {TELEMETRY_PROM}: {err}");
+                std::process::exit(1);
+            }
+            info!("wrote telemetry to {TELEMETRY_PROM}");
+        }
+        Mode::Off => {}
+    }
+
+    if !manifest.all_passed() {
+        error!(
+            "reproduction checks failed for: {}",
+            manifest.failures().join(", ")
+        );
+        std::process::exit(1);
     }
 }

@@ -40,6 +40,7 @@ mod eval;
 pub mod figures;
 
 pub mod ablations;
+pub mod checks;
 pub mod codec;
 pub mod fig1;
 pub mod fig10;

@@ -215,6 +215,7 @@ pub fn profile_benchmark(bench: &mut Benchmark) -> BenchmarkProfile {
 /// Runs one benchmark through the pipeline with an arbitrary hierarchy
 /// geometry — the entry point for cache-geometry sensitivity studies.
 pub fn profile_benchmark_with(bench: &mut Benchmark, config: HierarchyConfig) -> BenchmarkProfile {
+    let _span = leakage_telemetry::span("simulate");
     let mut sink = PipelineSink::new(config.clone());
     bench.run(&mut sink);
 
@@ -225,8 +226,17 @@ pub fn profile_benchmark_with(bench: &mut Benchmark, config: HierarchyConfig) ->
         mut dcache,
         ..
     } = sink;
-    icache.extractor.finish(end, &mut icache.dist);
-    dcache.extractor.finish(end, &mut dcache.dist);
+    {
+        let _span = leakage_telemetry::span("extract");
+        icache.extractor.finish(end, &mut icache.dist);
+        dcache.extractor.finish(end, &mut dcache.dist);
+    }
+    hierarchy.flush_telemetry();
+    // Peak interval-set cardinality across every profiled cache — the
+    // memory high-water mark of the sufficient statistic.
+    let gauge = leakage_telemetry::gauge!("intervals_peak_classes");
+    gauge.set_max(icache.dist.num_classes() as u64);
+    gauge.set_max(dcache.dist.num_classes() as u64);
 
     BenchmarkProfile {
         name: bench.name().to_string(),
@@ -361,9 +371,19 @@ pub fn profile_suite(scale: Scale) -> Vec<BenchmarkProfile> {
 /// Like [`profile_suite`] but sharing the memoized profiles without
 /// cloning them — prefer this when the caller only reads.
 pub fn cached_suite(scale: Scale) -> Vec<Arc<BenchmarkProfile>> {
+    let _span = leakage_telemetry::span("suite");
+    // Capture the suite path before the fan-out: rayon workers start
+    // with empty span stacks, so each benchmark re-attaches under it.
+    let parent = leakage_telemetry::current_path();
     SUITE_NAMES
         .par_iter()
-        .map(|name| ProfileStore::global().fetch(name, scale))
+        .map(|name| {
+            let _span = match &parent {
+                Some(parent) => leakage_telemetry::span_under(parent, name),
+                None => leakage_telemetry::span(name),
+            };
+            ProfileStore::global().fetch(name, scale)
+        })
         .collect()
 }
 

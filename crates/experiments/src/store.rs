@@ -28,10 +28,10 @@
 use crate::codec;
 use crate::pipeline::{profile_benchmark_with, BenchmarkProfile};
 use leakage_cachesim::{CacheConfig, HierarchyConfig};
+use leakage_telemetry::Counter;
 use leakage_workloads::{by_name, Scale, GENERATOR_VERSION};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Environment variable naming a directory for the global store's
@@ -58,11 +58,18 @@ impl StoreCounters {
 }
 
 /// A memoization cache of [`BenchmarkProfile`]s.
+///
+/// Counters are [`leakage_telemetry::Counter`]s. Per-instance stores
+/// (tests, ad-hoc sweeps) own private unregistered counters; the
+/// [`global`](ProfileStore::global) store's counters are the
+/// registry's `profile_store_{mem_hits,sim_misses,disk_hits}_total`
+/// metrics, so they appear in the run manifest and the Prometheus
+/// export without any separate counting path.
 pub struct ProfileStore {
     entries: Mutex<HashMap<u64, Arc<OnceLock<Arc<BenchmarkProfile>>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    disk_hits: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    disk_hits: Arc<Counter>,
     disk_dir: Option<PathBuf>,
 }
 
@@ -77,9 +84,9 @@ impl ProfileStore {
     pub fn new() -> Self {
         ProfileStore {
             entries: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            disk_hits: Arc::new(Counter::new()),
             disk_dir: None,
         }
     }
@@ -99,9 +106,17 @@ impl ProfileStore {
     /// [`PROFILE_DIR_ENV`] names a directory.
     pub fn global() -> &'static ProfileStore {
         static GLOBAL: OnceLock<ProfileStore> = OnceLock::new();
-        GLOBAL.get_or_init(|| match std::env::var(PROFILE_DIR_ENV) {
-            Ok(dir) if !dir.is_empty() => ProfileStore::with_disk_dir(dir),
-            _ => ProfileStore::new(),
+        GLOBAL.get_or_init(|| {
+            let mut store = match std::env::var(PROFILE_DIR_ENV) {
+                Ok(dir) if !dir.is_empty() => ProfileStore::with_disk_dir(dir),
+                _ => ProfileStore::new(),
+            };
+            // The global store counts straight into the registry.
+            let registry = leakage_telemetry::registry();
+            store.hits = registry.counter("profile_store_mem_hits_total");
+            store.misses = registry.counter("profile_store_sim_misses_total");
+            store.disk_hits = registry.counter("profile_store_disk_hits_total");
+            store
         })
     }
 
@@ -153,7 +168,7 @@ impl ProfileStore {
             Arc::clone(entries.entry(key).or_default())
         };
         if let Some(profile) = cell.get() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Arc::clone(profile);
         }
         // Not yet resolved: exactly one caller runs the closure; any
@@ -164,7 +179,7 @@ impl ProfileStore {
             Arc::new(self.resolve_miss(key, name, scale, config))
         });
         if !resolved_here {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         Arc::clone(profile)
     }
@@ -177,10 +192,10 @@ impl ProfileStore {
         config: &HierarchyConfig,
     ) -> BenchmarkProfile {
         if let Some(profile) = self.load_from_disk(key, name) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.inc();
             return profile;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let mut bench = by_name(name, scale)
             .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see SUITE_NAMES"));
         let profile = profile_benchmark_with(&mut bench, config.clone());
@@ -222,9 +237,9 @@ impl ProfileStore {
     /// Current counter values.
     pub fn counters(&self) -> StoreCounters {
         StoreCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            disk_hits: self.disk_hits.get(),
         }
     }
 

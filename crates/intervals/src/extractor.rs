@@ -32,6 +32,11 @@ struct FrameSlot {
 #[derive(Debug, Clone)]
 pub struct IntervalExtractor {
     frames: Vec<FrameSlot>,
+    /// Intervals closed by accesses so far. A plain (non-atomic) local
+    /// tally — the hot loop pays one register increment; the total is
+    /// flushed to the telemetry registry in
+    /// [`finish`](IntervalExtractor::finish).
+    closed: u64,
 }
 
 impl IntervalExtractor {
@@ -46,6 +51,7 @@ impl IntervalExtractor {
                 };
                 num_frames as usize
             ],
+            closed: 0,
         }
     }
 
@@ -111,6 +117,7 @@ impl IntervalExtractor {
         slot.last_access = Some(cycle);
         slot.wake = WakeHints::NONE;
         slot.dirty = now_dirty;
+        self.closed += 1;
         sink.record(interval);
     }
 
@@ -138,6 +145,8 @@ impl IntervalExtractor {
     /// Ends the trace at `end` (exclusive), emitting a trailing interval
     /// for every touched frame and an untouched interval for the rest.
     pub fn finish(self, end: Cycle, sink: &mut impl IntervalSink) {
+        leakage_telemetry::counter!("intervals_closed_total").add(self.closed);
+        leakage_telemetry::counter!("intervals_flushed_total").add(self.frames.len() as u64);
         for (index, slot) in self.frames.into_iter().enumerate() {
             let frame = FrameId::new(index as u32);
             let interval = match slot.last_access {

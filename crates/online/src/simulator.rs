@@ -180,6 +180,9 @@ impl OnlineCacheSim {
         let span = end.raw() as f64;
         self.energy +=
             self.controller.counter_ratio() * self.params.powers().active * span * frames as f64;
+        leakage_telemetry::counter!("online_accesses_total").add(self.accesses);
+        leakage_telemetry::counter!("online_induced_misses_total").add(self.induced_misses);
+        leakage_telemetry::counter!("online_stall_cycles_total").add(self.stall_cycles);
         OnlineReport {
             controller: self.controller.name(),
             energy: self.energy,

@@ -1,0 +1,61 @@
+//! A minimal JSON writer (the workspace's serde is an offline marker
+//! stub, so serialization is hand-rolled here).
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `"key": ` fragment.
+pub(crate) fn key(name: &str) -> String {
+    format!("\"{}\": ", escape(name))
+}
+
+/// A quoted JSON string.
+pub(crate) fn string(value: &str) -> String {
+    format!("\"{}\"", escape(value))
+}
+
+/// Joins already-serialized items into a JSON array.
+pub(crate) fn array(items: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// Joins already-serialized `"key": value` members into a JSON object.
+pub(crate) fn object(members: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = members.into_iter().collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_nested_documents() {
+        let doc = object([
+            key("a") + &string("x"),
+            key("b") + &array(["1".to_string(), "2".to_string()]),
+        ]);
+        assert_eq!(doc, "{\"a\": \"x\", \"b\": [1, 2]}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Leveled stderr logging filtered by `LEAKAGE_LOG`.
+//!
+//! The default level is [`Level::Warn`], so routine diagnostics
+//! (`info!`/`debug!`) stay quiet unless the user opts in with
+//! `LEAKAGE_LOG=info` or `LEAKAGE_LOG=debug`. `LEAKAGE_LOG=off`
+//! silences everything, including errors (useful in benchmarks).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-invalidating problems.
+    Error = 0,
+    /// Suspicious conditions a run can survive.
+    Warn = 1,
+    /// Progress reporting (stage start/finish, file writes).
+    Info = 2,
+    /// High-volume tracing for debugging.
+    Debug = 3,
+}
+
+/// Sentinel above every level: nothing passes the filter.
+const OFF: u8 = 4;
+
+fn parse(value: &str) -> u8 {
+    match value.to_ascii_lowercase().as_str() {
+        "error" => Level::Error as u8,
+        "warn" | "warning" => Level::Warn as u8,
+        "info" => Level::Info as u8,
+        "debug" => Level::Debug as u8,
+        "off" | "none" => OFF,
+        _ => Level::Warn as u8,
+    }
+}
+
+fn filter() -> &'static AtomicU8 {
+    static FILTER: OnceLock<AtomicU8> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        let initial = match std::env::var(crate::LOG_ENV) {
+            Ok(value) if !value.is_empty() => parse(&value),
+            _ => Level::Warn as u8,
+        };
+        AtomicU8::new(initial)
+    })
+}
+
+/// Whether a message at `level` passes the current filter. The macros
+/// call this, so formatting cost is only paid for messages that print.
+pub fn log_enabled(level: Level) -> bool {
+    let current = filter().load(Ordering::Relaxed);
+    current != OFF && level as u8 <= current
+}
+
+/// Overrides the filter at runtime (e.g. from a `--verbose` flag);
+/// `None` means off.
+pub fn set_log_level(level: Option<Level>) {
+    filter().store(level.map_or(OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Logs at [`Level::Error`] to stderr.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Error) {
+            eprintln!("[error] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`] to stderr.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Warn) {
+            eprintln!("[warn] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`] to stderr.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Info) {
+            eprintln!("[info] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`] to stderr.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Debug) {
+            eprintln!("[debug] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(parse("DEBUG"), Level::Debug as u8);
+        assert_eq!(parse("bogus"), Level::Warn as u8);
+        assert_eq!(parse("off"), OFF);
+    }
+
+    #[test]
+    fn set_level_filters() {
+        set_log_level(Some(Level::Info));
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_log_level(None);
+        assert!(!log_enabled(Level::Error));
+        set_log_level(Some(Level::Warn));
+    }
+}

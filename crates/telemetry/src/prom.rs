@@ -1,0 +1,56 @@
+//! Prometheus text-format exporter for the global registry.
+
+use std::fmt::Write as _;
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format. Counters get a `_total`-as-written name (the registry
+/// convention is to name counters `*_total` at the call site), gauges
+/// are exported as-is, and histograms expand into cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`, matching the
+/// inclusive-upper-bound semantics of
+/// [`Histogram`](crate::Histogram).
+pub fn prometheus_text() -> String {
+    let snapshot = crate::registry().snapshot();
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += h.counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_histogram_cumulatively() {
+        let h = crate::registry().histogram("prom_test_latency", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE prom_test_latency histogram"));
+        assert!(text.contains("prom_test_latency_bucket{le=\"10\"} 1"));
+        assert!(text.contains("prom_test_latency_bucket{le=\"100\"} 2"));
+        assert!(text.contains("prom_test_latency_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("prom_test_latency_sum 555"));
+        assert!(text.contains("prom_test_latency_count 3"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Scoped span timers aggregating into a hierarchical wall-time
+//! profile.
+//!
+//! Spans are identified by slash-joined paths. Each thread keeps a
+//! stack of open span paths; [`span`] nests under the top of the
+//! current thread's stack, and [`span_under`] nests under an
+//! explicitly captured parent path — the mechanism that carries the
+//! hierarchy across a rayon fan-out, where worker threads start with
+//! empty stacks:
+//!
+//! ```
+//! leakage_telemetry::set_enabled(true);
+//! let _suite = leakage_telemetry::span("suite");
+//! let parent = leakage_telemetry::current_path().unwrap();
+//! // inside a rayon worker:
+//! let _bench = leakage_telemetry::span_under(&parent, "gzip");
+//! ```
+//!
+//! Aggregation is by path: every execution of `suite/gzip` adds to one
+//! [`SpanStat`], so repeated stages report call counts and cumulative
+//! wall time, and [`span_tree`] reconstructs the parent tree.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Separator between path components. Span names must not contain it.
+pub const PATH_SEP: char = '/';
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed executions.
+    pub calls: u64,
+    /// Cumulative wall time, nanoseconds.
+    pub total_nanos: u128,
+}
+
+impl SpanStat {
+    /// Cumulative wall time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_nanos as f64 / 1e6
+    }
+}
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Final path component (the name passed to [`span`]).
+    pub name: String,
+    /// Full slash-joined path.
+    pub path: String,
+    /// Aggregated stats for this exact path.
+    pub stat: SpanStat,
+    /// Child spans, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+fn totals() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static TOTALS: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    TOTALS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// Stack of full paths of the spans open on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span execution; records elapsed time on drop.
+///
+/// Deliberately `!Send`: a guard must be dropped on the thread that
+/// opened it, because it pops that thread's span stack.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at entry — drop is a no-op.
+    start: Option<Instant>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed().as_nanos();
+        let path = STACK.with(|stack| stack.borrow_mut().pop());
+        let Some(path) = path else { return };
+        let mut totals = totals().lock().expect("span mutex never poisoned");
+        let stat = totals.entry(path).or_default();
+        stat.calls += 1;
+        stat.total_nanos += elapsed;
+    }
+}
+
+fn enter(full_path: String) -> SpanGuard {
+    STACK.with(|stack| stack.borrow_mut().push(full_path));
+    SpanGuard {
+        start: Some(Instant::now()),
+        _not_send: PhantomData,
+    }
+}
+
+fn inert() -> SpanGuard {
+    SpanGuard {
+        start: None,
+        _not_send: PhantomData,
+    }
+}
+
+/// Opens a span named `name` nested under the current thread's
+/// innermost open span (or at the root if none). Near-zero cost when
+/// telemetry is disabled: one relaxed load, no timestamp, no lock.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return inert();
+    }
+    let full = STACK.with(|stack| match stack.borrow().last() {
+        Some(parent) => format!("{parent}{PATH_SEP}{name}"),
+        None => name.to_string(),
+    });
+    enter(full)
+}
+
+/// Opens a span named `name` under an explicit `parent` path —
+/// typically one captured with [`current_path`] before handing work to
+/// a rayon worker thread. Spans opened with [`span`] inside this scope
+/// nest under it as usual.
+pub fn span_under(parent: &str, name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return inert();
+    }
+    enter(format!("{parent}{PATH_SEP}{name}"))
+}
+
+/// Full path of the current thread's innermost open span, if any.
+/// Capture this before a fan-out and pass it to [`span_under`] in the
+/// workers.
+pub fn current_path() -> Option<String> {
+    STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+/// The flat aggregated profile: `(path, stat)` sorted by path.
+pub fn span_report() -> Vec<(String, SpanStat)> {
+    totals()
+        .lock()
+        .expect("span mutex never poisoned")
+        .iter()
+        .map(|(path, stat)| (path.clone(), *stat))
+        .collect()
+}
+
+/// Reconstructs the parent tree from the aggregated paths. A path with
+/// a missing ancestor (possible when a parent span is still open, or
+/// when `span_under` named a parent that never closed) gets an
+/// implicit zero-stat ancestor node, so the tree shape is always
+/// consistent with the paths.
+pub fn span_tree() -> Vec<SpanNode> {
+    let report = span_report();
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for (path, stat) in &report {
+        let components: Vec<&str> = path.split(PATH_SEP).collect();
+        let mut siblings = &mut roots;
+        let mut prefix = String::new();
+        for (depth, component) in components.iter().enumerate() {
+            if !prefix.is_empty() {
+                prefix.push(PATH_SEP);
+            }
+            prefix.push_str(component);
+            let position = match siblings.iter().position(|n| n.name == *component) {
+                Some(position) => position,
+                None => {
+                    siblings.push(SpanNode {
+                        name: component.to_string(),
+                        path: prefix.clone(),
+                        stat: SpanStat::default(),
+                        children: Vec::new(),
+                    });
+                    siblings.len() - 1
+                }
+            };
+            if depth == components.len() - 1 {
+                siblings[position].stat = *stat;
+            }
+            siblings = &mut siblings[position].children;
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the process-wide enabled flag.
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("test mutex never poisoned")
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _serial = flag_lock();
+        crate::set_enabled(false);
+        {
+            let _guard = span("span_test_disabled_root");
+        }
+        assert!(span_report()
+            .iter()
+            .all(|(path, _)| !path.contains("span_test_disabled_root")));
+    }
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _serial = flag_lock();
+        crate::set_enabled(true);
+        {
+            let _outer = span("span_test_outer");
+            let _inner = span("span_test_inner");
+        }
+        crate::set_enabled(false);
+        let report = span_report();
+        assert!(report
+            .iter()
+            .any(|(path, stat)| path == "span_test_outer/span_test_inner" && stat.calls == 1));
+        assert!(report
+            .iter()
+            .any(|(path, stat)| path == "span_test_outer" && stat.calls == 1));
+    }
+}
