@@ -1,0 +1,240 @@
+//! A literal interpreter of the paper's Fig. 6 state machine.
+//!
+//! Fig. 6 draws three states — Active, Drowsy, Sleep — annotated with
+//! static powers `P(·)`, connected by four edges annotated with
+//! transition energies (`E_AD`, `E_DA`, `E_AS`, `E_SA`), plus the
+//! dynamic refetch cost `C_D` charged on the miss a sleep induces.
+//! There are no `Drowsy ↔ Sleep` edges.
+//!
+//! [`Fig6Machine`] transcribes that figure directly from
+//! [`CircuitParams`]: a power per state, an energy per edge, and an
+//! interpreter that walks an explicit timeline of edges and rests,
+//! summing energy term by term. It shares no code with
+//! `leakage-core`'s closed-form accounting — the point is that two
+//! independent transcriptions of the same figure agree.
+
+use leakage_core::PowerMode;
+use leakage_energy::CircuitParams;
+use leakage_intervals::IntervalClass;
+
+/// One step of an explicit Fig. 6 timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// Traverse the edge `from → to` (must exist in Fig. 6).
+    Edge(PowerMode, PowerMode),
+    /// Rest in a state for a number of cycles.
+    Rest(PowerMode, u64),
+}
+
+/// The transcribed state machine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Fig6Machine {
+    /// `P(Active)`, `P(Drowsy)`, `P(Sleep)` in PowerMode::ALL order.
+    power: [f64; 3],
+    /// `edge[from][to]`; `None` where Fig. 6 has no edge.
+    edge: [[Option<f64>; 3]; 3],
+    /// `C_D`.
+    refetch: f64,
+}
+
+fn mode_index(mode: PowerMode) -> usize {
+    PowerMode::ALL
+        .iter()
+        .position(|&m| m == mode)
+        .expect("PowerMode::ALL covers every mode")
+}
+
+impl Fig6Machine {
+    /// Transcribes Fig. 6 for one set of circuit assumptions.
+    pub fn from_params(params: &CircuitParams) -> Self {
+        use PowerMode::*;
+        let p = params.powers();
+        let t = params.timings();
+        let ramp = params.transition_model();
+        let (pa, pd, ps) = (p.active, p.drowsy, p.sleep);
+        let mut edge = [[None; 3]; 3];
+        // Self-edges are free; the four drawn edges carry their ramp
+        // energies; Sleep→Active additionally waits s4 cycles at full
+        // power for the refetch to arrive.
+        for mode in PowerMode::ALL {
+            edge[mode_index(mode)][mode_index(mode)] = Some(0.0);
+        }
+        edge[mode_index(Active)][mode_index(Drowsy)] = Some(ramp.ramp_power(pa, pd) * t.d1 as f64);
+        edge[mode_index(Drowsy)][mode_index(Active)] = Some(ramp.ramp_power(pd, pa) * t.d3 as f64);
+        edge[mode_index(Active)][mode_index(Sleep)] = Some(ramp.ramp_power(pa, ps) * t.s1 as f64);
+        edge[mode_index(Sleep)][mode_index(Active)] =
+            Some(ramp.ramp_power(ps, pa) * t.s3 as f64 + pa * t.s4 as f64);
+        Fig6Machine {
+            power: [pa, pd, ps],
+            edge,
+            refetch: params.refetch_energy(),
+        }
+    }
+
+    /// `P(state)`.
+    pub fn state_power(&self, mode: PowerMode) -> f64 {
+        self.power[mode_index(mode)]
+    }
+
+    /// The energy of one edge, or `None` where Fig. 6 draws none.
+    pub fn edge_energy(&self, from: PowerMode, to: PowerMode) -> Option<f64> {
+        self.edge[mode_index(from)][mode_index(to)]
+    }
+
+    /// `C_D`, the dynamic energy of the induced refetch miss.
+    pub fn refetch_energy(&self) -> f64 {
+        self.refetch
+    }
+
+    /// Walks a timeline, summing `P(state) * cycles` for rests and edge
+    /// energies for transitions. Returns `None` if the timeline uses an
+    /// edge Fig. 6 does not have, or rests in a state an edge did not
+    /// lead to (a malformed schedule).
+    pub fn run(&self, steps: &[Step]) -> Option<f64> {
+        let mut total = 0.0;
+        let mut state: Option<PowerMode> = None;
+        for &step in steps {
+            match step {
+                Step::Edge(from, to) => {
+                    if let Some(current) = state {
+                        if current != from {
+                            return None;
+                        }
+                    }
+                    total += self.edge_energy(from, to)?;
+                    state = Some(to);
+                }
+                Step::Rest(mode, cycles) => {
+                    if let Some(current) = state {
+                        if current != mode {
+                            return None;
+                        }
+                    }
+                    total += self.state_power(mode) * cycles as f64;
+                    state = Some(mode);
+                }
+            }
+        }
+        Some(total)
+    }
+
+    /// The literal Fig. 6 timeline for spending one interval in `mode`,
+    /// following Eq. 1/Eq. 2's edge-aware structure: the entry ramp
+    /// exists only when the interval starts after an access (the frame
+    /// is at full voltage and must ramp down), the exit ramp only when
+    /// it ends with an access (the frame must be back at full voltage).
+    ///
+    /// Returns `None` when the interval is too short to hold its ramps
+    /// — the same infeasibility rule as production.
+    pub fn interval_timeline(
+        &self,
+        mode: PowerMode,
+        class: &IntervalClass,
+        timings_overhead: (u64, u64),
+    ) -> Option<Vec<Step>> {
+        use PowerMode::*;
+        let entry = class.kind.starts_after_access();
+        let exit = class.kind.ends_with_access();
+        if mode == Active {
+            return Some(vec![Step::Rest(Active, class.length)]);
+        }
+        let (entry_cycles, exit_cycles) = timings_overhead;
+        let entry_cycles = if entry { entry_cycles } else { 0 };
+        let exit_cycles = if exit { exit_cycles } else { 0 };
+        let overhead = entry_cycles + exit_cycles;
+        if class.length < overhead {
+            return None;
+        }
+        let mut steps = Vec::new();
+        if entry_cycles > 0 {
+            steps.push(Step::Edge(Active, mode));
+        }
+        steps.push(Step::Rest(mode, class.length - overhead));
+        if exit_cycles > 0 {
+            steps.push(Step::Edge(mode, Active));
+        }
+        Some(steps)
+    }
+
+    /// Interval energy by literal interpretation: build the timeline,
+    /// run it, and add `C_D` when a sleeping interval's closing access
+    /// refetches (`charge_refetch` is the accounting decision, made by
+    /// the caller). Entry/exit ramp *durations* come from the caller
+    /// too ([`CircuitParams`] timings) — the machine itself only knows
+    /// edge energies.
+    pub fn interval_energy(
+        &self,
+        mode: PowerMode,
+        class: &IntervalClass,
+        timings_overhead: (u64, u64),
+        charge_refetch: bool,
+        writeback: f64,
+    ) -> Option<f64> {
+        let steps = self.interval_timeline(mode, class, timings_overhead)?;
+        let mut total = self.run(&steps)?;
+        if mode == PowerMode::Sleep {
+            if charge_refetch {
+                total += self.refetch;
+            }
+            if class.dirty {
+                total += writeback;
+            }
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_energy::TechnologyNode;
+    use leakage_intervals::{IntervalKind, WakeHints};
+
+    fn machine() -> Fig6Machine {
+        Fig6Machine::from_params(&CircuitParams::for_node(TechnologyNode::N70))
+    }
+
+    #[test]
+    fn missing_edges_and_malformed_timelines_are_rejected() {
+        use PowerMode::*;
+        let m = machine();
+        assert_eq!(m.edge_energy(Drowsy, Sleep), None);
+        assert_eq!(m.edge_energy(Sleep, Drowsy), None);
+        assert!(m.run(&[Step::Edge(Drowsy, Sleep)]).is_none());
+        // Rest in a state the previous edge did not lead to.
+        assert!(m
+            .run(&[Step::Edge(Active, Drowsy), Step::Rest(Sleep, 5)])
+            .is_none());
+    }
+
+    #[test]
+    fn active_interval_is_pure_residency() {
+        let m = machine();
+        let class = IntervalClass {
+            length: 100,
+            kind: IntervalKind::Interior { reaccess: true },
+            wake: WakeHints::NONE,
+            dirty: false,
+        };
+        let e = m
+            .interval_energy(PowerMode::Active, &class, (0, 0), false, 0.0)
+            .unwrap();
+        assert_eq!(e, m.state_power(PowerMode::Active) * 100.0);
+    }
+
+    #[test]
+    fn too_short_for_ramps_is_infeasible() {
+        let m = machine();
+        let params = CircuitParams::for_node(TechnologyNode::N70);
+        let t = params.timings();
+        let class = IntervalClass {
+            length: t.d1 + t.d3 - 1,
+            kind: IntervalKind::Interior { reaccess: true },
+            wake: WakeHints::NONE,
+            dirty: false,
+        };
+        assert!(m
+            .interval_energy(PowerMode::Drowsy, &class, (t.d1, t.d3), false, 0.0)
+            .is_none());
+    }
+}

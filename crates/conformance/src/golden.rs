@@ -1,0 +1,118 @@
+//! Golden-artifact locking: byte-exact snapshots with readable diffs.
+//!
+//! A golden file pins the rendered output of a deterministic artifact
+//! (a table's CSV at a fixed scale). [`check_golden`] compares a fresh
+//! regeneration against the committed snapshot and, on mismatch,
+//! produces a per-line diff a human can act on — not just "files
+//! differ". Setting `LEAKAGE_BLESS=1` rewrites the snapshot instead,
+//! which is how goldens are created and intentionally updated.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Compares `actual` against the golden file at `path`.
+///
+/// * With `LEAKAGE_BLESS=1` in the environment, writes `actual` to
+///   `path` (creating parent directories) and returns `Ok`.
+/// * A missing golden file is an error telling the operator to bless.
+/// * A mismatch is an error carrying the [`diff_lines`] rendering.
+pub fn check_golden(path: &Path, actual: &str) -> Result<(), String> {
+    if std::env::var("LEAKAGE_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("{}: creating golden dir: {e}", path.display()))?;
+        }
+        return std::fs::write(path, actual)
+            .map_err(|e| format!("{}: blessing golden: {e}", path.display()));
+    }
+    let expected = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "{}: cannot read golden ({e}); run with LEAKAGE_BLESS=1 to create it",
+            path.display()
+        )
+    })?;
+    match diff_lines(&expected, actual) {
+        None => Ok(()),
+        Some(diff) => Err(format!(
+            "{} diverged from golden (LEAKAGE_BLESS=1 re-blesses):\n{diff}",
+            path.display()
+        )),
+    }
+}
+
+/// Line-by-line comparison: `None` when equal, otherwise a rendering
+/// where each differing line shows `-` (golden) and `+` (actual).
+pub fn diff_lines(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0usize;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i);
+        let a = act.get(i);
+        if e == a {
+            continue;
+        }
+        if shown == 20 {
+            let _ = writeln!(out, "  … further differences elided");
+            break;
+        }
+        shown += 1;
+        match (e, a) {
+            (Some(e), Some(a)) => {
+                let _ = writeln!(out, "  line {}:\n  - {e}\n  + {a}", i + 1);
+            }
+            (Some(e), None) => {
+                let _ = writeln!(out, "  line {} only in golden:\n  - {e}", i + 1);
+            }
+            (None, Some(a)) => {
+                let _ = writeln!(out, "  line {} only in actual:\n  + {a}", i + 1);
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    if out.is_empty() {
+        // Same lines but different trailing whitespace/newlines.
+        let _ = writeln!(
+            out,
+            "  contents differ only in line endings or trailing whitespace \
+             (golden {} bytes, actual {} bytes)",
+            expected.len(),
+            actual.len()
+        );
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_strings_have_no_diff() {
+        assert_eq!(diff_lines("a\nb\n", "a\nb\n"), None);
+    }
+
+    #[test]
+    fn diff_pinpoints_lines() {
+        let d = diff_lines("a\nb\nc\n", "a\nX\nc\nd\n").unwrap();
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("- b") && d.contains("+ X"), "{d}");
+        assert!(d.contains("line 4 only in actual"), "{d}");
+    }
+
+    #[test]
+    fn whitespace_only_difference_is_reported() {
+        let d = diff_lines("a\n", "a").unwrap();
+        assert!(d.contains("line endings"), "{d}");
+    }
+
+    #[test]
+    fn missing_golden_mentions_bless() {
+        let err = check_golden(Path::new("/nonexistent/golden.csv"), "x").unwrap_err();
+        assert!(err.contains("LEAKAGE_BLESS"), "{err}");
+    }
+}

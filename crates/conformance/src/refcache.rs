@@ -1,0 +1,173 @@
+//! A naive set-associative LRU cache: the reference for `leakage-cachesim`.
+//!
+//! The production [`Cache`](leakage_cachesim::Cache) keeps packed way
+//! arrays and a byte-encoded per-set recency permutation for speed. The
+//! reference keeps, per set, a plain `Vec` of resident lines ordered
+//! most-recent-first, and recomputes everything by scanning it. The two
+//! must agree on every observable of every access: hit/miss, the
+//! displaced line, its dirtiness, and the writeback decision. (Frame
+//! *numbers* are a production-side implementation detail — the
+//! reference has no physical ways — and are not compared.)
+
+use leakage_cachesim::CacheConfig;
+use leakage_trace::LineAddr;
+
+/// One resident line of the reference cache.
+#[derive(Debug, Clone, Copy)]
+struct RefLine {
+    line: LineAddr,
+    dirty: bool,
+}
+
+/// The observables of one reference-cache access, mirroring the
+/// comparable fields of [`AccessResult`](leakage_cachesim::AccessResult).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefAccess {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// The displaced line, when the fill evicted a valid one.
+    pub evicted: Option<LineAddr>,
+    /// Dirtiness of the data the access displaced or re-touched (the
+    /// hit line's prior dirtiness, or the victim's).
+    pub was_dirty: bool,
+    /// Whether the access displaced a dirty line.
+    pub writeback: bool,
+}
+
+/// The naive LRU model. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ReferenceCache {
+    /// `sets[s]` lists the resident lines of set `s`, most recent first.
+    sets: Vec<Vec<RefLine>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writebacks: u64,
+}
+
+impl ReferenceCache {
+    /// Builds an empty reference cache with the production geometry.
+    pub fn new(config: &CacheConfig) -> Self {
+        ReferenceCache {
+            sets: vec![Vec::new(); config.num_sets() as usize],
+            ways: config.ways() as usize,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The set a line maps to: the low bits of the line index, as in any
+    /// power-of-two-indexed cache.
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.index() % self.sets.len() as u64) as usize
+    }
+
+    /// Performs one access; a `store` marks the line dirty.
+    pub fn access(&mut self, line: LineAddr, store: bool) -> RefAccess {
+        let set = self.set_of(line);
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|r| r.line == line) {
+            // Hit: report prior dirtiness, absorb the store, move to MRU.
+            let mut entry = lines.remove(pos);
+            let was_dirty = entry.dirty;
+            entry.dirty |= store;
+            lines.insert(0, entry);
+            self.hits += 1;
+            return RefAccess {
+                hit: true,
+                evicted: None,
+                was_dirty,
+                writeback: false,
+            };
+        }
+        // Miss: fill at MRU; a full set drops its LRU (last) entry.
+        self.misses += 1;
+        let victim = if lines.len() == self.ways {
+            lines.pop()
+        } else {
+            None
+        };
+        lines.insert(0, RefLine { line, dirty: store });
+        match victim {
+            Some(v) => {
+                self.evictions += 1;
+                if v.dirty {
+                    self.writebacks += 1;
+                }
+                RefAccess {
+                    hit: false,
+                    evicted: Some(v.line),
+                    was_dirty: v.dirty,
+                    writeback: v.dirty,
+                }
+            }
+            None => RefAccess {
+                hit: false,
+                evicted: None,
+                was_dirty: false,
+                writeback: false,
+            },
+        }
+    }
+
+    /// Whether `line` is resident.
+    pub fn resident(&self, line: LineAddr) -> bool {
+        self.sets[self.set_of(line)].iter().any(|r| r.line == line)
+    }
+
+    /// Dirtiness of `line` if resident.
+    pub fn line_dirty(&self, line: LineAddr) -> Option<bool> {
+        self.sets[self.set_of(line)]
+            .iter()
+            .find(|r| r.line == line)
+            .map(|r| r.dirty)
+    }
+
+    /// (hits, misses, evictions, writebacks) so far.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.evictions, self.writebacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets_bytes: u64, ways: u32) -> ReferenceCache {
+        ReferenceCache::new(&CacheConfig::new("ref", sets_bytes, ways, 64, 1).unwrap())
+    }
+
+    #[test]
+    fn hits_after_fill_and_lru_eviction_order() {
+        // 2 sets x 2 ways of 64-byte lines.
+        let mut c = cache(256, 2);
+        assert!(!c.access(LineAddr::new(0), false).hit);
+        assert!(!c.access(LineAddr::new(2), false).hit); // same set 0
+        assert!(c.access(LineAddr::new(0), false).hit); // 0 now MRU
+        let fill = c.access(LineAddr::new(4), false); // evicts LRU = 2
+        assert_eq!(fill.evicted, Some(LineAddr::new(2)));
+        assert_eq!(c.counts(), (1, 3, 1, 0));
+    }
+
+    #[test]
+    fn dirty_lines_report_writebacks() {
+        let mut c = cache(128, 1); // 2 sets x 1 way: every conflict evicts
+        c.access(LineAddr::new(0), true); // dirty fill
+        let evicting = c.access(LineAddr::new(2), false);
+        assert!(evicting.writeback && evicting.was_dirty);
+        assert_eq!(evicting.evicted, Some(LineAddr::new(0)));
+        assert_eq!(c.counts().3, 1);
+    }
+
+    #[test]
+    fn store_hit_dirties_without_writeback() {
+        let mut c = cache(128, 2);
+        c.access(LineAddr::new(0), false);
+        let hit = c.access(LineAddr::new(0), true);
+        assert!(hit.hit && !hit.was_dirty && !hit.writeback);
+        assert_eq!(c.line_dirty(LineAddr::new(0)), Some(true));
+    }
+}

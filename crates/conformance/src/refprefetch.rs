@@ -1,0 +1,125 @@
+//! Naive reference predictors for `leakage-prefetch`.
+//!
+//! * [`ReferenceNextLine`] — remembers only the previous line and
+//!   predicts its successor on every line change, exactly the
+//!   one-block-lookahead rule of §5.1.
+//! * [`ReferenceStride`] — an *unbounded, collision-free* reference
+//!   prediction table: a map keyed by full PC, applying the two-strike
+//!   confirmation rule (predict `addr + stride` once the same nonzero
+//!   stride has been seen twice in a row). The production table is
+//!   direct-mapped and finite, so it can only differ by *suppressing*
+//!   predictions after a collision evicts training state — never by
+//!   predicting something the reference would not.
+
+use std::collections::HashMap;
+
+use leakage_trace::{Address, LineAddr, Pc};
+
+/// Reference one-block-lookahead predictor.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceNextLine {
+    last: Option<LineAddr>,
+}
+
+impl ReferenceNextLine {
+    /// A predictor with no history.
+    pub fn new() -> Self {
+        ReferenceNextLine::default()
+    }
+
+    /// Observes an access; predicts the successor line on line change
+    /// (including the very first access).
+    pub fn observe(&mut self, line: LineAddr) -> Option<LineAddr> {
+        if self.last == Some(line) {
+            return None;
+        }
+        self.last = Some(line);
+        Some(line.succ(1))
+    }
+}
+
+/// Per-PC training state of [`ReferenceStride`].
+#[derive(Debug, Clone, Copy)]
+struct Training {
+    last_addr: Address,
+    stride: i64,
+    confirmations: u32,
+}
+
+/// Reference stride predictor: unbounded table, full-PC keys, no
+/// collisions, no eviction.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceStride {
+    table: HashMap<u64, Training>,
+}
+
+impl ReferenceStride {
+    /// An empty table.
+    pub fn new() -> Self {
+        ReferenceStride::default()
+    }
+
+    /// Observes one access by `pc` to `addr`; returns the prediction
+    /// once the two-strike rule confirms the stride.
+    pub fn observe(&mut self, pc: Pc, addr: Address) -> Option<Address> {
+        match self.table.get_mut(&pc.raw()) {
+            None => {
+                self.table.insert(
+                    pc.raw(),
+                    Training {
+                        last_addr: addr,
+                        stride: 0,
+                        confirmations: 0,
+                    },
+                );
+                None
+            }
+            Some(t) => {
+                let stride = addr.raw().wrapping_sub(t.last_addr.raw()) as i64;
+                if stride != 0 && stride == t.stride {
+                    t.confirmations += 1;
+                } else {
+                    t.stride = stride;
+                    t.confirmations = if stride == 0 { 0 } else { 1 };
+                }
+                t.last_addr = addr;
+                if t.confirmations >= 2 {
+                    Some(addr.offset(t.stride))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nextline_predicts_on_change_only() {
+        let mut p = ReferenceNextLine::new();
+        assert_eq!(p.observe(LineAddr::new(9)), Some(LineAddr::new(10)));
+        assert_eq!(p.observe(LineAddr::new(9)), None);
+        assert_eq!(p.observe(LineAddr::new(4)), Some(LineAddr::new(5)));
+    }
+
+    #[test]
+    fn stride_two_strike_rule() {
+        let mut p = ReferenceStride::new();
+        let pc = Pc::new(0x40);
+        assert_eq!(p.observe(pc, Address::new(0)), None);
+        assert_eq!(p.observe(pc, Address::new(64)), None);
+        assert_eq!(p.observe(pc, Address::new(128)), Some(Address::new(192)));
+    }
+
+    #[test]
+    fn negative_stride_confirms_too() {
+        let mut p = ReferenceStride::new();
+        let pc = Pc::new(0x40);
+        p.observe(pc, Address::new(3000));
+        p.observe(pc, Address::new(2900));
+        assert_eq!(p.observe(pc, Address::new(2800)), Some(Address::new(2700)));
+    }
+}

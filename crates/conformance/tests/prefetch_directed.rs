@@ -1,0 +1,55 @@
+//! Directed differential cases for the prefetch analyzers against the
+//! conformance references: singleton sequences, mid-stream stride
+//! changes, negative strides, and next-line edge behavior.
+
+use leakage_conformance::refprefetch::{ReferenceNextLine, ReferenceStride};
+use leakage_prefetch::{NextLinePrefetcher, StridePrefetcher};
+use leakage_trace::{Address, LineAddr, Pc};
+
+#[test]
+fn nextline_matches_reference_on_first_access_and_repeats() {
+    let mut production = NextLinePrefetcher::new();
+    let mut reference = ReferenceNextLine::new();
+    // First access predicts, same-line repeats stay silent, line
+    // changes predict again — including returning to a previous line.
+    for line in [7u64, 7, 7, 8, 8, 7, 9] {
+        let line = LineAddr::new(line);
+        assert_eq!(
+            production.observe(line),
+            reference.observe(line),
+            "divergence at {line}"
+        );
+    }
+}
+
+#[test]
+fn nextline_singleton_predicts_successor() {
+    let mut production = NextLinePrefetcher::new();
+    let mut reference = ReferenceNextLine::new();
+    let line = LineAddr::new(41);
+    let p = production.observe(line);
+    assert_eq!(p, reference.observe(line));
+    assert_eq!(p, Some(LineAddr::new(42)));
+}
+
+#[test]
+fn stride_singleton_and_mid_stream_change_match_reference() {
+    let mut production = StridePrefetcher::new(256);
+    let mut reference = ReferenceStride::new();
+    let pc = Pc::new(0x1040);
+    // Singleton: one access trains nothing.
+    assert_eq!(production.observe(pc, Address::new(500)), None);
+    assert_eq!(reference.observe(pc, Address::new(500)), None);
+    // Build a +8 stride, break it with a jump, rebuild at -8: every
+    // step agrees with the reference.
+    let mut addr = 500i64;
+    for delta in [8i64, 8, 8, 10_000, -8, -8, -8, -8] {
+        addr += delta;
+        let a = Address::new(addr as u64);
+        assert_eq!(
+            production.observe(pc, a),
+            reference.observe(pc, a),
+            "divergence at {a}"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale test|small|paper|<cycles>] [--csv] [--metrics] [EXPERIMENT ...]
+//! repro [--scale test|small|paper|<cycles>] [--csv] [--metrics] [--conformance] [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment names, everything is regenerated. Experiments:
@@ -25,6 +25,17 @@
 //! `results/telemetry.json`; `LEAKAGE_TELEMETRY=prom` exports the
 //! registry to `results/telemetry.prom` instead. `LEAKAGE_LOG=info`
 //! surfaces progress logging (default `warn` keeps runs quiet).
+//!
+//! # Conformance
+//!
+//! `--conformance` runs the differential conformance suite from
+//! `leakage-conformance` — brute-force DP vs the greedy policy, naive
+//! LRU vs the production cache, quadratic vs streaming interval
+//! extraction, the literal Fig. 6 interpreter vs the generalized
+//! model, and reference vs production prefetchers — and records one
+//! `conformance/<check>` verdict per check in the manifest. With no
+//! experiment names, `--conformance` runs only the suite; any failing
+//! check makes the process exit non-zero.
 
 use leakage_experiments::{
     ablations, checks, fig1, fig10, fig3, fig7, fig8, fig9, implementable, online,
@@ -80,7 +91,7 @@ const TELEMETRY_PROM: &str = "results/telemetry.prom";
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale test|small|paper|<cycles>] [--csv] [--svg DIR] [--out DIR] \
-         [--report FILE] [--metrics] [EXPERIMENT ...]"
+         [--report FILE] [--metrics] [--conformance] [EXPERIMENT ...]"
     );
     eprintln!("experiments: {}", ALL.join(" "));
     eprintln!(
@@ -97,6 +108,7 @@ fn main() {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut report_path: Option<std::path::PathBuf> = None;
     let mut metrics = false;
+    let mut conformance = false;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -116,6 +128,7 @@ fn main() {
             }
             "--csv" => csv = true,
             "--metrics" => metrics = true,
+            "--conformance" => conformance = true,
             "--svg" => {
                 let value = args.next().unwrap_or_else(|| usage());
                 svg_dir = Some(std::path::PathBuf::from(value));
@@ -133,7 +146,8 @@ fn main() {
             _ => usage(),
         }
     }
-    if wanted.is_empty() {
+    // `--conformance` alone runs only the differential suite.
+    if wanted.is_empty() && !conformance {
         wanted = ALL.iter().map(|s| s.to_string()).collect();
     }
 
@@ -261,6 +275,27 @@ fn main() {
         }
     }
 
+    // The differential conformance suite: production vs reference
+    // implementations on shared traces, verdicts into the manifest.
+    let conformance_report = if conformance {
+        let _span = telemetry::span("conformance");
+        info!("running the differential conformance suite...");
+        let start = std::time::Instant::now();
+        let report = leakage_conformance::run_conformance(scale, 10_000);
+        info!("conformance suite ran in {:.1}s", start.elapsed().as_secs_f64());
+        for check in &report.checks {
+            if check.passed {
+                println!("conformance {:<22} ok    {}", check.name, check.detail);
+            } else {
+                println!("conformance {:<22} FAIL  {}", check.name, check.detail);
+                error!("conformance check {} failed: {}", check.name, check.detail);
+            }
+        }
+        Some(report)
+    } else {
+        None
+    };
+
     if let Some(path) = &report_path {
         let header = format!(
             "# cache-leakage-limits reproduction report\n\n\
@@ -327,6 +362,11 @@ fn main() {
     }
     for (experiment, passed) in &combined {
         manifest.verdict(experiment, *passed);
+    }
+    if let Some(report) = &conformance_report {
+        for check in &report.checks {
+            manifest.verdict(&format!("conformance/{}", check.name), check.passed);
+        }
     }
 
     match mode {

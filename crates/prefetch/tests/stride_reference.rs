@@ -112,6 +112,91 @@ proptest! {
     }
 }
 
+/// A singleton access sequence trains nothing and predicts nothing —
+/// in either implementation.
+#[test]
+fn singleton_sequence_never_predicts() {
+    let mut table = StridePrefetcher::new(64);
+    let mut reference = ReferenceStride::default();
+    assert_eq!(table.observe(Pc::new(0x400), Address::new(1234)), None);
+    assert_eq!(reference.observe(0x400, 1234), None);
+    // A different PC immediately after is also a singleton.
+    assert_eq!(table.observe(Pc::new(0x800), Address::new(5678)), None);
+    assert_eq!(reference.observe(0x800, 5678), None);
+}
+
+/// Changing stride mid-stream must retrain: both implementations fall
+/// silent for exactly two accesses, then predict with the new stride.
+#[test]
+fn stride_change_mid_stream_retrains_in_lockstep() {
+    let mut table = StridePrefetcher::new(64);
+    let mut reference = ReferenceStride::default();
+    let pc = 0x400u64;
+    let mut addr = 0x10_000u64;
+    let mut feed = |table: &mut StridePrefetcher, reference: &mut ReferenceStride, a: u64| {
+        let actual = table.observe(Pc::new(pc), Address::new(a)).map(|p| p.raw());
+        let expected = reference.observe(pc, a);
+        assert_eq!(actual, expected, "divergence at addr {a:#x}");
+        actual
+    };
+    // Train stride +64 to confirmation.
+    for _ in 0..4 {
+        feed(&mut table, &mut reference, addr);
+        addr += 64;
+    }
+    assert_eq!(feed(&mut table, &mut reference, addr), Some(addr + 64));
+    // Switch to stride -128: the first observation with the new delta
+    // only retrains (strike one); the next confirms and predicts.
+    addr = addr.wrapping_add_signed(-128);
+    assert_eq!(feed(&mut table, &mut reference, addr), None);
+    addr = addr.wrapping_add_signed(-128);
+    assert_eq!(
+        feed(&mut table, &mut reference, addr),
+        Some(addr.wrapping_add_signed(-128))
+    );
+}
+
+/// A negative stride confirms and predicts downward, identically in
+/// table and reference.
+#[test]
+fn negative_stride_predicts_downward() {
+    let mut table = StridePrefetcher::new(64);
+    let mut reference = ReferenceStride::default();
+    let pc = 0x77cu64;
+    for i in 0..6u64 {
+        let a = 1_000_000 - i * 4096;
+        let actual = table.observe(Pc::new(pc), Address::new(a)).map(|p| p.raw());
+        let expected = reference.observe(pc, a);
+        assert_eq!(actual, expected, "i={i}");
+        if i >= 2 {
+            assert_eq!(actual, Some(a - 4096), "i={i}");
+        }
+    }
+}
+
+/// Repeating the same address (stride zero) resets confirmation in
+/// both implementations: no prediction until a stride re-confirms.
+#[test]
+fn zero_stride_resets_training() {
+    let mut table = StridePrefetcher::new(64);
+    let mut reference = ReferenceStride::default();
+    let pc = 0x400u64;
+    for (a, expect) in [
+        (100, None),
+        (164, None),
+        (228, Some(292)), // +64 confirmed
+        (228, None),      // zero stride: reset
+        (292, None),      // retrain strike one
+        (356, Some(420)), // strike two: re-confirmed
+        (420, Some(484)), // still confirmed
+    ] {
+        let actual = table.observe(Pc::new(pc), Address::new(a)).map(|p| p.raw());
+        let expected = reference.observe(pc, a);
+        assert_eq!(actual, expected, "addr {a}");
+        assert_eq!(actual, expect, "addr {a}");
+    }
+}
+
 fn reference_trigger_bound(stream: &[(u64, u64)]) -> u64 {
     let mut reference = ReferenceStride::default();
     stream

@@ -173,6 +173,37 @@ mod tests {
     }
 
     #[test]
+    fn address_offset_wraps_at_space_boundaries() {
+        // Offsets use two's-complement wrapping: the address space is a
+        // ring. Stride predictions near the top of memory wrap to the
+        // bottom instead of panicking mid-simulation.
+        assert_eq!(Address::new(u64::MAX).offset(1), Address::new(0));
+        assert_eq!(Address::new(0).offset(-1), Address::new(u64::MAX));
+        assert_eq!(Address::new(u64::MAX).offset(i64::MAX).raw(), (i64::MAX as u64) - 1);
+        assert_eq!(Address::new(0).offset(i64::MIN).raw(), 1u64 << 63);
+    }
+
+    #[test]
+    fn line_succ_wraps_at_space_boundaries() {
+        // The next-line prefetcher's succ(1) on the last line of the
+        // address space predicts line 0 — a harmless (if useless)
+        // prediction, never a crash.
+        assert_eq!(LineAddr::new(u64::MAX).succ(1), LineAddr::new(0));
+        assert_eq!(LineAddr::new(0).succ(-1), LineAddr::new(u64::MAX));
+        assert_eq!(LineAddr::new(5).succ(-8), LineAddr::new(u64::MAX - 2));
+    }
+
+    #[test]
+    fn line_of_max_address_is_top_line() {
+        let top = Address::new(u64::MAX);
+        assert_eq!(top.line(6).index(), u64::MAX >> 6);
+        // first_byte of the top line truncates back into range.
+        assert_eq!(top.line(6).first_byte(6).raw(), (u64::MAX >> 6) << 6);
+        // line_bits = 0: byte == line, identity round trip.
+        assert_eq!(top.line(0).index(), u64::MAX);
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(Address::new(0xff).to_string(), "0xff");
         assert_eq!(LineAddr::new(0x3).to_string(), "L0x3");

@@ -79,6 +79,17 @@ impl Cycle {
         self.0 - earlier.0
     }
 
+    /// Returns the number of cycles from `earlier` to `self`, or zero
+    /// when `earlier` is later than `self`.
+    ///
+    /// The clamping variant of [`since`](Cycle::since) for boundary
+    /// arithmetic where a ragged trace end is legitimate — e.g. an
+    /// interval extractor flushing at an `end` timestamp that equals
+    /// (or, with a truncated trace, precedes) the final access.
+    pub const fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
     /// Returns this timestamp advanced by `delta` cycles.
     #[must_use]
     pub const fn advanced(self, delta: u64) -> Cycle {
@@ -122,6 +133,13 @@ mod tests {
         let end = start.advanced(32);
         assert_eq!(end.since(start), 32);
         assert_eq!(end.since(end), 0);
+    }
+
+    #[test]
+    fn cycle_saturating_since_clamps_to_zero() {
+        assert_eq!(Cycle::new(5).saturating_since(Cycle::new(9)), 0);
+        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(5)), 4);
+        assert_eq!(Cycle::ZERO.saturating_since(Cycle::ZERO), 0);
     }
 
     #[test]

@@ -13,11 +13,27 @@
 //! * **No shrinking.** A failing case reports the panic message from
 //!   `prop_assert!` (which includes the formatted values) but does not
 //!   minimize the input.
-//! * **Deterministic seeding.** Each test derives its RNG seed from its
-//!   own name, so runs are reproducible across processes and machines;
-//!   there is no persistence file.
+//! * **Deterministic seeding.** Each test derives a master seed from its
+//!   own name, and every case draws a fresh per-case seed from the
+//!   master stream, so runs are reproducible across processes and
+//!   machines and every individual case is replayable from its seed
+//!   alone.
 //! * **`prop_assume!` skips by `continue`**, so a skipped case still
 //!   counts toward the case budget.
+//!
+//! Two pieces of real-proptest behaviour *are* supported:
+//!
+//! * **Regression persistence.** A sibling file named
+//!   `<test_file>.proptest-regressions` (same stem, next to the `.rs`
+//!   source) is read at test start; every `cc <hex-seed>` line is
+//!   replayed *before* the random cases. When a case fails, the harness
+//!   prints the `cc` line to append. Only the first 16 hex digits are
+//!   consumed (a 64-bit seed); longer real-proptest seeds are accepted
+//!   and truncated.
+//! * **Case-count override.** The `LEAKAGE_PROPTEST_CASES` environment
+//!   variable overrides every `ProptestConfig`'s case count (explicit
+//!   or default), so CI can run deep fuzz rounds (`=2048`) while local
+//!   runs stay fast.
 
 /// Deterministic 64-bit generator (splitmix64) driving all sampling.
 #[derive(Debug, Clone)]
@@ -33,6 +49,12 @@ impl TestRng {
             hash = hash.wrapping_mul(0x100_0000_01b3);
         }
         TestRng(hash ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Seeds from a raw 64-bit value — the replay path for seeds read
+    /// from a `.proptest-regressions` file or printed by a failing case.
+    pub const fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
     }
 
     /// Next 64 random bits.
@@ -67,11 +89,101 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count to actually run: the `LEAKAGE_PROPTEST_CASES`
+    /// environment variable when set to a valid count, this config's
+    /// `cases` otherwise. The override wins over explicit configs too —
+    /// that is the point: CI exports it once for a deep round across
+    /// the whole workspace.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("LEAKAGE_PROPTEST_CASES") {
+            Ok(value) => value.trim().parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 256 }
+    }
+}
+
+/// Reads the regression seeds persisted next to a test source file.
+///
+/// `source_file` is the `file!()` of the test (relative to the
+/// workspace root); the sibling file swaps the `.rs` suffix for
+/// `.proptest-regressions`. Lines look like real proptest's:
+///
+/// ```text
+/// cc d6bd5ef7e2f4... # shrinks to phases = [...]
+/// ```
+///
+/// The first 16 hex digits of each `cc` token become a 64-bit replay
+/// seed. Cargo runs test binaries with the package root as the working
+/// directory while `file!()` is workspace-root-relative, so a few
+/// parent-directory prefixes are probed; a missing file yields no
+/// seeds (not an error).
+pub fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let sibling = match source_file.strip_suffix(".rs") {
+        Some(stem) => format!("{stem}.proptest-regressions"),
+        None => return Vec::new(),
+    };
+    for prefix in ["", "../", "../../", "../../../"] {
+        let candidate = format!("{prefix}{sibling}");
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            return parse_regression_seeds(&text);
+        }
+    }
+    Vec::new()
+}
+
+/// Parses `cc <hex>` lines into 64-bit seeds; see [`regression_seeds`].
+pub fn parse_regression_seeds(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.is_empty() {
+                return None;
+            }
+            let head = &hex[..hex.len().min(16)];
+            u64::from_str_radix(head, 16).ok()
+        })
+        .collect()
+}
+
+/// Armed for the duration of one proptest case; if the case panics,
+/// [`Drop`] (which runs during unwinding) prints the `cc` line to
+/// append to the test's `.proptest-regressions` file so the failure
+/// replays first on every subsequent run.
+pub struct CaseGuard {
+    seed: u64,
+    source_file: &'static str,
+    test_name: &'static str,
+}
+
+impl CaseGuard {
+    /// Arms the guard for a case drawn from `seed`.
+    pub fn new(seed: u64, source_file: &'static str, test_name: &'static str) -> Self {
+        CaseGuard { seed, source_file, test_name }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let sibling = self
+                .source_file
+                .strip_suffix(".rs")
+                .map(|stem| format!("{stem}.proptest-regressions"))
+                .unwrap_or_else(|| String::from("<test>.proptest-regressions"));
+            eprintln!(
+                "proptest: {} failed with seed {:016x}; to replay first on every run, \
+                 append this line to {sibling}:\ncc {:016x} # seed for {}",
+                self.test_name, self.seed, self.seed, self.test_name,
+            );
+        }
     }
 }
 
@@ -423,10 +535,24 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..config.cases {
-                $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let __replay_seeds = $crate::regression_seeds(file!());
+            let __replays = __replay_seeds.len() as u32;
+            let mut __master = $crate::TestRng::for_test(__test_name);
+            for __case in 0..(__replays + config.resolved_cases()) {
+                // Replayed regression seeds run first; random cases each
+                // draw a fresh seed from the master stream so any single
+                // case is replayable from the seed the guard prints.
+                let __seed = if __case < __replays {
+                    __replay_seeds[__case as usize]
+                } else {
+                    __master.next_u64()
+                };
+                let mut __rng = $crate::TestRng::from_seed(__seed);
+                let __guard = $crate::CaseGuard::new(__seed, file!(), __test_name);
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut __rng);)+
                 $body
+                drop(__guard);
             }
         }
         $crate::__proptest_impl!(($config) $($rest)*);
@@ -487,6 +613,33 @@ mod tests {
                 other => prop_assert!(false, "unexpected arm {}", other),
             }
         }
+    }
+
+    #[test]
+    fn regression_lines_parse_and_truncate() {
+        let text = "# comment\ncc d6bd5ef7e2f448a1ffeeddccbbaa0099 # shrinks to x = 3\n\
+                    cc 00000000000000ff\nnot a seed line\ncc zz\n";
+        let seeds = crate::parse_regression_seeds(text);
+        assert_eq!(seeds, vec![0xd6bd_5ef7_e2f4_48a1, 0xff]);
+    }
+
+    #[test]
+    fn missing_regression_file_yields_no_seeds() {
+        assert!(crate::regression_seeds("no/such/test_file.rs").is_empty());
+        assert!(crate::regression_seeds("not-a-rust-file").is_empty());
+    }
+
+    #[test]
+    fn case_count_env_override_wins() {
+        // Process-global env var: set + restore around the assertion.
+        // Cargo runs this crate's tests in one process; no other test
+        // here reads the variable.
+        std::env::set_var("LEAKAGE_PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::with_cases(64).resolved_cases(), 7);
+        std::env::set_var("LEAKAGE_PROPTEST_CASES", "garbage");
+        assert_eq!(ProptestConfig::with_cases(64).resolved_cases(), 64);
+        std::env::remove_var("LEAKAGE_PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases(64).resolved_cases(), 64);
     }
 
     #[test]
