@@ -26,6 +26,15 @@
 //! registry to `results/telemetry.prom` instead. `LEAKAGE_LOG=info`
 //! surfaces progress logging (default `warn` keeps runs quiet).
 //!
+//! # Degradation
+//!
+//! A benchmark that panics (or is killed via `LEAKAGE_FAULTS`, the
+//! deterministic fault-injection plane — see DESIGN.md) fails alone:
+//! the other benchmarks complete, its absence is recorded as a
+//! `failed/<benchmark>` verdict in the manifest, and the process exits
+//! non-zero. Likewise a panicking experiment generator fails only its
+//! own verdict.
+//!
 //! # Conformance
 //!
 //! `--conformance` runs the differential conformance suite from
@@ -38,8 +47,9 @@
 //! check makes the process exit non-zero.
 
 use leakage_experiments::{
-    ablations, checks, fig1, fig10, fig3, fig7, fig8, fig9, implementable, online,
-    profile_suite, table1, table2, table3, BenchmarkProfile, ProfileStore, Table,
+    ablations, cached_suite_partial, checks, fig1, fig10, fig3, fig7, fig8, fig9,
+    implementable, online, table1, table2, table3, BenchmarkFailure, BenchmarkProfile,
+    ProfileStore, Table,
 };
 use leakage_telemetry::{self as telemetry, error, info, Mode, RunManifest};
 use leakage_workloads::Scale;
@@ -96,7 +106,8 @@ fn usage() -> ! {
     eprintln!("experiments: {}", ALL.join(" "));
     eprintln!(
         "env: LEAKAGE_TELEMETRY=json|prom|off, LEAKAGE_LOG=error|warn|info|debug, \
-         LEAKAGE_THREADS=N, LEAKAGE_PROFILE_DIR=DIR"
+         LEAKAGE_THREADS=N, LEAKAGE_PROFILE_DIR=DIR, LEAKAGE_FAULTS=SPEC (fault injection; \
+         see DESIGN.md)"
     );
     std::process::exit(2);
 }
@@ -161,6 +172,12 @@ fn main() {
     telemetry::set_enabled(mode != Mode::Off);
     let _root_span = telemetry::span("repro");
 
+    // Benchmarks that failed inside the suite fan-out (injected faults,
+    // simulation panics). The run degrades instead of dying: surviving
+    // profiles feed the experiments, each failure becomes a
+    // `failed/<benchmark>` manifest verdict, and the exit code goes
+    // non-zero at the end.
+    let mut suite_failures: Vec<BenchmarkFailure> = Vec::new();
     let profiles: Option<Vec<BenchmarkProfile>> =
         if svg_dir.is_some() || wanted.iter().any(|w| NEEDS_PROFILES.contains(&w.as_str())) {
             info!(
@@ -168,8 +185,13 @@ fn main() {
                 scale.cycles()
             );
             let start = std::time::Instant::now();
-            let profiles = profile_suite(scale);
+            let outcome = cached_suite_partial(scale);
             info!("profiled in {:.1}s", start.elapsed().as_secs_f64());
+            for failure in &outcome.failures {
+                error!("{failure}; continuing with the surviving benchmarks");
+            }
+            let profiles = outcome.cloned_profiles();
+            suite_failures = outcome.failures;
             Some(profiles)
         } else {
             None
@@ -239,7 +261,7 @@ fn main() {
         let profiles = |experiment: &str| {
             profiles.unwrap_or_else(|| panic!("{experiment} requires profiles"))
         };
-        match name.as_str() {
+        let run = || match name.as_str() {
             "table1" => emit(&table1::generate()),
             "table2" => emit(&table2::generate(profiles("table2"))),
             "table3" => emit(&table3::generate()),
@@ -272,6 +294,16 @@ fn main() {
             }
             "calibration" => emit(&ablations::calibration_consistency()),
             _ => unreachable!("validated above"),
+        };
+        // Isolate each experiment: one panicking generator (or an
+        // injected fault) fails its own verdict while the remaining
+        // experiments still run.
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+            error!(
+                "experiment {name} panicked: {}; continuing",
+                leakage_faults::panic_message(payload.as_ref())
+            );
+            verdicts.borrow_mut().push((name.to_string(), false));
         }
     }
 
@@ -339,6 +371,18 @@ fn main() {
     manifest.set("binary", "repro");
     manifest.set("experiments", wanted.join(" "));
     manifest.set("scale_cycles", scale.cycles());
+    manifest.set("benchmark_failures", suite_failures.len() as u64);
+    if let Ok(spec) = std::env::var(leakage_faults::FAULTS_ENV) {
+        if !spec.is_empty() {
+            manifest.set("fault_spec", spec);
+        }
+    }
+    // One `failed/<benchmark>` verdict per benchmark that did not make
+    // it through the suite — these drive the non-zero exit for partial
+    // runs.
+    for failure in &suite_failures {
+        manifest.verdict(&format!("failed/{}", failure.benchmark), false);
+    }
     manifest.set("threads", rayon::current_num_threads());
     manifest.set("generator_version", leakage_workloads::GENERATOR_VERSION);
     manifest.set("format_version", leakage_experiments::codec::FORMAT_VERSION);

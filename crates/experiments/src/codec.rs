@@ -13,9 +13,17 @@
 //! * **Versioned format.** [`FORMAT_VERSION`] is checked on decode and
 //!   mixed into store keys, so a layout change invalidates stale files
 //!   instead of misreading them.
+//! * **Integrity footer.** Since format version 2 the final 8 bytes
+//!   are the FNV-1a digest of everything before them, verified before
+//!   any structural parsing. A crash (or injected fault) that tears a
+//!   write mid-file can therefore never yield a decodable-but-wrong
+//!   profile: the digest fails first and the store quarantines the
+//!   file. FNV-1a guards against torn writes and bit flips, not
+//!   adversaries.
 
 use crate::{BenchmarkProfile, CacheProfile};
 use leakage_cachesim::CacheStats;
+use leakage_faults::checksum::fnv1a;
 use leakage_intervals::{CompactIntervalDist, IntervalClass, IntervalKind, WakeHints};
 use leakage_prefetch::PrefetchStats;
 
@@ -23,10 +31,14 @@ use leakage_prefetch::PrefetchStats;
 pub const MAGIC: [u8; 4] = *b"LKPF";
 
 /// Layout version; bump on any change to the byte format.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version history: 1 — initial layout; 2 — FNV-1a integrity footer.
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Decode failures. The store treats any error as a cache miss and
-/// re-simulates, so corrupt files are self-healing.
+/// Bytes of the trailing FNV-1a integrity footer.
+const FOOTER_BYTES: usize = 8;
+
+/// Decode failures. The store treats any error as a cache miss (and
+/// quarantines the file), so corrupt files are self-healing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The buffer ended before the structure it promised.
@@ -44,6 +56,14 @@ pub enum CodecError {
     BadName,
     /// Trailing bytes followed a complete profile.
     TrailingBytes,
+    /// The integrity footer did not match the body — a torn write or
+    /// bit flip.
+    ChecksumMismatch {
+        /// Digest recomputed over the body.
+        expected: u64,
+        /// Digest found in the footer.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -57,13 +77,18 @@ impl std::fmt::Display for CodecError {
             CodecError::BadTag(tag) => write!(f, "invalid enum tag {tag}"),
             CodecError::BadName => write!(f, "benchmark name is not UTF-8"),
             CodecError::TrailingBytes => write!(f, "trailing bytes after profile"),
+            CodecError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: body hashes to {expected:016x}, footer says {found:016x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
-/// Encodes a profile to its canonical byte form.
+/// Encodes a profile to its canonical byte form, integrity footer
+/// included.
 pub fn encode_profile(profile: &BenchmarkProfile) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096);
     out.extend_from_slice(&MAGIC);
@@ -73,10 +98,23 @@ pub fn encode_profile(profile: &BenchmarkProfile) -> Vec<u8> {
     out.extend_from_slice(name);
     encode_cache(&mut out, &profile.icache);
     encode_cache(&mut out, &profile.dcache);
+    let digest = fnv1a(&out);
+    put_u64(&mut out, digest);
     out
 }
 
-/// Decodes a profile, validating magic, version and framing.
+/// Decodes a profile, validating magic, version, integrity footer, and
+/// framing.
+///
+/// Check order matters for diagnosis: magic and version are read
+/// first (a stale-format file should report [`VersionMismatch`], not a
+/// digest failure — its footer convention may differ), then the
+/// footer is verified over the whole body *before* any structural
+/// parsing, so a torn write or bit flip anywhere surfaces as
+/// [`ChecksumMismatch`] rather than as an arbitrary misparse.
+///
+/// [`VersionMismatch`]: CodecError::VersionMismatch
+/// [`ChecksumMismatch`]: CodecError::ChecksumMismatch
 ///
 /// # Errors
 ///
@@ -91,6 +129,15 @@ pub fn decode_profile(bytes: &[u8]) -> Result<BenchmarkProfile, CodecError> {
     if version != FORMAT_VERSION {
         return Err(CodecError::VersionMismatch { found: version });
     }
+    let body_len = bytes.len().checked_sub(FOOTER_BYTES).ok_or(CodecError::Truncated)?;
+    let expected = fnv1a(&bytes[..body_len]);
+    let mut footer = Reader { bytes, pos: body_len };
+    let found = footer.u64()?;
+    if expected != found {
+        return Err(CodecError::ChecksumMismatch { expected, found });
+    }
+    // Structural parsing sees only the checksummed body.
+    let mut r = Reader { bytes: &bytes[..body_len], pos: r.pos };
     let name_len = r.u32()? as usize;
     let name = std::str::from_utf8(r.take(name_len)?)
         .map_err(|_| CodecError::BadName)?
@@ -339,12 +386,51 @@ mod tests {
             decode_profile(&bad_version).unwrap_err(),
             CodecError::VersionMismatch { .. }
         ));
+        // Appending or dropping a byte desynchronizes the footer, so
+        // both surface as integrity failures before any parsing.
         let mut trailing = bytes.clone();
         trailing.push(0);
-        assert_eq!(decode_profile(&trailing).unwrap_err(), CodecError::TrailingBytes);
-        assert_eq!(
+        assert!(matches!(
+            decode_profile(&trailing).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+        assert!(matches!(
             decode_profile(&bytes[..bytes.len() - 1]).unwrap_err(),
-            CodecError::Truncated
-        );
+            CodecError::ChecksumMismatch { .. }
+        ));
+    }
+
+    /// The crash-safety core: any single flipped bit, and any
+    /// truncation long enough to pass the header, is caught by the
+    /// footer — never parsed into a plausible profile.
+    #[test]
+    fn every_flip_and_truncation_is_caught() {
+        let bytes = encode_profile(&sample_profile());
+        for position in 8..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[position] ^= 0x40;
+            assert!(
+                matches!(
+                    decode_profile(&flipped),
+                    Err(CodecError::ChecksumMismatch { .. })
+                ),
+                "flip at byte {position} must fail the checksum"
+            );
+        }
+        for keep in 8..bytes.len() {
+            assert!(
+                decode_profile(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn footer_is_fnv1a_of_the_body() {
+        let bytes = encode_profile(&sample_profile());
+        let (body, footer) = bytes.split_at(bytes.len() - 8);
+        let mut expected = [0u8; 8];
+        expected.copy_from_slice(footer);
+        assert_eq!(u64::from_le_bytes(expected), fnv1a(body));
     }
 }

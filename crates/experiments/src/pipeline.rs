@@ -2,12 +2,14 @@
 
 use crate::store::ProfileStore;
 use leakage_cachesim::{CacheStats, Hierarchy, HierarchyConfig, Level1};
+use leakage_faults::{panic_message, PipelineError};
 use leakage_intervals::{CompactIntervalDist, IntervalExtractor, WakeHints};
 use leakage_prefetch::{PrefetchAnalyzer, PrefetchStats, WakeTrigger};
 use leakage_trace::{Cycle, LineAddr, MemoryAccess, TraceSink, TraceSource};
 use leakage_workloads::{suite, Benchmark, Scale, SUITE_NAMES};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Everything the experiments need to know about one cache of one
@@ -370,21 +372,117 @@ pub fn profile_suite(scale: Scale) -> Vec<BenchmarkProfile> {
 
 /// Like [`profile_suite`] but sharing the memoized profiles without
 /// cloning them — prefer this when the caller only reads.
+///
+/// # Panics
+///
+/// Re-raises the first benchmark failure (a simulation panic or store
+/// error). Callers that want the surviving profiles instead use
+/// [`cached_suite_partial`].
 pub fn cached_suite(scale: Scale) -> Vec<Arc<BenchmarkProfile>> {
+    let outcome = cached_suite_partial(scale);
+    if let Some(failure) = outcome.failures.first() {
+        panic!("{failure}");
+    }
+    outcome.profiles
+}
+
+/// One benchmark's failure inside the suite fan-out.
+#[derive(Debug)]
+pub struct BenchmarkFailure {
+    /// Which benchmark failed.
+    pub benchmark: String,
+    /// What happened.
+    pub error: PipelineError,
+}
+
+impl std::fmt::Display for BenchmarkFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "benchmark {:?} failed: {}", self.benchmark, self.error)
+    }
+}
+
+/// What a partial suite run produced: every healthy profile (in suite
+/// order) plus a typed record of every benchmark that did not make it.
+#[derive(Debug, Default)]
+pub struct SuiteOutcome {
+    /// Profiles of the benchmarks that completed, in suite order.
+    pub profiles: Vec<Arc<BenchmarkProfile>>,
+    /// Benchmarks that failed, in suite order.
+    pub failures: Vec<BenchmarkFailure>,
+}
+
+impl SuiteOutcome {
+    /// `true` when every benchmark completed.
+    pub fn all_healthy(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Owned clones of the healthy profiles (the shape the table and
+    /// figure generators consume).
+    pub fn cloned_profiles(&self) -> Vec<BenchmarkProfile> {
+        self.profiles.iter().map(|p| p.as_ref().clone()).collect()
+    }
+}
+
+/// Profiles the suite with per-benchmark panic isolation: a benchmark
+/// that panics (or hits a store error) is reported in
+/// [`SuiteOutcome::failures`] while every other benchmark completes
+/// normally. Each failure also bumps the
+/// `pipeline_benchmark_failures_total` counter, so run manifests
+/// record the degradation.
+///
+/// This is the bulkhead `repro` runs behind: one poisoned benchmark
+/// costs one row of the tables, not the whole evening's run.
+pub fn cached_suite_partial(scale: Scale) -> SuiteOutcome {
+    suite_partial_with(ProfileStore::global(), scale)
+}
+
+/// [`cached_suite_partial`] against an explicit store (tests use
+/// private stores to keep fault experiments out of the global cache).
+pub fn suite_partial_with(store: &ProfileStore, scale: Scale) -> SuiteOutcome {
     let _span = leakage_telemetry::span("suite");
     // Capture the suite path before the fan-out: rayon workers start
     // with empty span stacks, so each benchmark re-attaches under it.
     let parent = leakage_telemetry::current_path();
-    SUITE_NAMES
+    let results: Vec<Result<Arc<BenchmarkProfile>, BenchmarkFailure>> = SUITE_NAMES
         .par_iter()
         .map(|name| {
             let _span = match &parent {
                 Some(parent) => leakage_telemetry::span_under(parent, name),
                 None => leakage_telemetry::span(name),
             };
-            ProfileStore::global().fetch(name, scale)
+            // Isolate the task: the store already catches simulation
+            // panics at its per-key cell, and this second boundary
+            // covers everything outside the store (span bookkeeping,
+            // allocation failures in the fan-out itself).
+            let fetched = catch_unwind(AssertUnwindSafe(|| store.try_fetch(name, scale)));
+            match fetched {
+                Ok(Ok(profile)) => Ok(profile),
+                Ok(Err(err)) => Err(BenchmarkFailure {
+                    benchmark: name.to_string(),
+                    error: PipelineError::Store(err),
+                }),
+                Err(payload) => Err(BenchmarkFailure {
+                    benchmark: name.to_string(),
+                    error: PipelineError::Panicked {
+                        benchmark: name.to_string(),
+                        message: panic_message(payload.as_ref()),
+                    },
+                }),
+            }
         })
-        .collect()
+        .collect();
+    let mut outcome = SuiteOutcome::default();
+    for result in results {
+        match result {
+            Ok(profile) => outcome.profiles.push(profile),
+            Err(failure) => {
+                leakage_telemetry::counter!("pipeline_benchmark_failures_total").inc();
+                outcome.failures.push(failure);
+            }
+        }
+    }
+    outcome
 }
 
 /// Fetches one suite benchmark's memoized profile from the global

@@ -15,29 +15,69 @@
 //! version ([`leakage_workloads::GENERATOR_VERSION`]) and the codec
 //! format version. Changing the workload generator therefore requires
 //! bumping `GENERATOR_VERSION` — that one bump invalidates every
-//! memoized profile, in memory and on disk. Disk entries that fail to
-//! decode are treated as misses and overwritten, so corruption
-//! self-heals.
+//! memoized profile, in memory and on disk.
+//!
+//! # Failure model
+//!
+//! The store is the pipeline's bulkhead (the policy is documented in
+//! `DESIGN.md`, "Failure model & degradation policy"):
+//!
+//! * **Panics don't wedge keys.** A simulation that panics is caught
+//!   at the per-key cell; the cell returns to *idle* so a later fetch
+//!   of the same key re-simulates instead of poisoning every
+//!   subsequent fetch. [`ProfileStore::try_fetch_with`] surfaces the
+//!   failure as a typed [`StoreError`]; the panicking [`fetch`]
+//!   wrappers re-panic with the same message for callers that opted
+//!   out of handling it.
+//! * **Disk writes are crash-safe.** Profiles are written to a unique
+//!   temp file, fsynced, and atomically renamed into place, and the
+//!   codec appends an FNV-1a integrity footer — so a concurrent
+//!   process or a mid-write crash can never expose a
+//!   decodable-but-wrong profile.
+//! * **Corrupt files are quarantined, not overwritten.** A file that
+//!   fails to decode moves to `<dir>/quarantine/` with a logged
+//!   reason and counts into `profile_store_quarantined_total`; the
+//!   fetch degrades to a re-simulation and rewrites a clean file.
+//! * **Transient I/O is retried.** Reads and writes run under
+//!   [`leakage_faults::Backoff::DISK`]; anything harder degrades to
+//!   in-memory memoization with a logged warning.
+//!
+//! The disk layer is instrumented as the `store/read` and
+//! `store/write` fault-injection sites, and each resolution as
+//! `suite/<benchmark>`, so every branch above is rehearsable with
+//! `LEAKAGE_FAULTS` (e.g. `store/write=truncate:32#1` tears the first
+//! write mid-file).
 //!
 //! # Concurrency
 //!
 //! Concurrent fetches of *different* keys simulate in parallel;
 //! concurrent fetches of the *same* key block on a per-key cell so the
-//! simulation still runs exactly once.
+//! simulation still runs exactly once. If the resolving fetch fails,
+//! one blocked waiter takes over and retries.
+//!
+//! [`fetch`]: ProfileStore::fetch
 
 use crate::codec;
 use crate::pipeline::{profile_benchmark_with, BenchmarkProfile};
 use leakage_cachesim::{CacheConfig, HierarchyConfig};
-use leakage_telemetry::Counter;
+use leakage_faults::checksum::Fnv64;
+use leakage_faults::{panic_message, Backoff, StoreError};
+use leakage_telemetry::{warn, Counter};
 use leakage_workloads::{by_name, Scale, GENERATOR_VERSION};
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// Environment variable naming a directory for the global store's
 /// on-disk profile layer (e.g. `results/profiles`). Unset: in-memory
 /// memoization only.
 pub const PROFILE_DIR_ENV: &str = "LEAKAGE_PROFILE_DIR";
+
+/// Subdirectory of the profile dir where corrupt files are moved.
+pub const QUARANTINE_SUBDIR: &str = "quarantine";
 
 /// Snapshot of a store's counters (see [`ProfileStore::counters`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,12 +88,42 @@ pub struct StoreCounters {
     pub misses: u64,
     /// Fetches served by decoding an on-disk profile.
     pub disk_hits: u64,
+    /// Corrupt on-disk profiles moved to the quarantine directory.
+    pub quarantined: u64,
 }
 
 impl StoreCounters {
-    /// Total fetches observed.
+    /// Total fetches observed (quarantines are per-file events, not
+    /// fetch outcomes, and are excluded).
     pub fn total(self) -> u64 {
         self.hits + self.misses + self.disk_hits
+    }
+}
+
+/// The per-key synchronization cell: at most one resolver at a time,
+/// waiters blocked on the condvar, and — unlike a `OnceLock` — a
+/// *recoverable* empty state, so a panicked resolution hands the key
+/// to the next fetcher instead of wedging it forever.
+struct KeyCell {
+    state: Mutex<CellState>,
+    ready: Condvar,
+}
+
+enum CellState {
+    /// No value and no resolver: the next fetcher takes over.
+    Idle,
+    /// A fetcher is resolving; wait on the condvar.
+    Running,
+    /// Resolved.
+    Ready(Arc<BenchmarkProfile>),
+}
+
+impl KeyCell {
+    fn new() -> Self {
+        KeyCell {
+            state: Mutex::new(CellState::Idle),
+            ready: Condvar::new(),
+        }
     }
 }
 
@@ -62,14 +132,15 @@ impl StoreCounters {
 /// Counters are [`leakage_telemetry::Counter`]s. Per-instance stores
 /// (tests, ad-hoc sweeps) own private unregistered counters; the
 /// [`global`](ProfileStore::global) store's counters are the
-/// registry's `profile_store_{mem_hits,sim_misses,disk_hits}_total`
-/// metrics, so they appear in the run manifest and the Prometheus
-/// export without any separate counting path.
+/// registry's `profile_store_{mem_hits,sim_misses,disk_hits,
+/// quarantined}_total` metrics, so they appear in the run manifest and
+/// the Prometheus export without any separate counting path.
 pub struct ProfileStore {
-    entries: Mutex<HashMap<u64, Arc<OnceLock<Arc<BenchmarkProfile>>>>>,
+    entries: Mutex<HashMap<u64, Arc<KeyCell>>>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     disk_hits: Arc<Counter>,
+    quarantined: Arc<Counter>,
     disk_dir: Option<PathBuf>,
 }
 
@@ -87,13 +158,14 @@ impl ProfileStore {
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             disk_hits: Arc::new(Counter::new()),
+            quarantined: Arc::new(Counter::new()),
             disk_dir: None,
         }
     }
 
     /// A store that additionally persists profiles under `dir`
-    /// (created on first write). Unreadable or stale files are treated
-    /// as misses and rewritten.
+    /// (created on first write). Unreadable files are treated as
+    /// misses; undecodable ones are quarantined and re-simulated.
     pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
         ProfileStore {
             disk_dir: Some(dir.into()),
@@ -116,6 +188,7 @@ impl ProfileStore {
             store.hits = registry.counter("profile_store_mem_hits_total");
             store.misses = registry.counter("profile_store_sim_misses_total");
             store.disk_hits = registry.counter("profile_store_disk_hits_total");
+            store.quarantined = registry.counter("profile_store_quarantined_total");
             store
         })
     }
@@ -125,15 +198,15 @@ impl ProfileStore {
     /// Stable across processes and platforms: it hashes explicit
     /// little-endian words, never in-memory layout.
     pub fn profile_key(name: &str, scale: Scale, config: &HierarchyConfig) -> u64 {
-        let mut hash = Fnv::new();
-        hash.bytes(name.as_bytes());
-        hash.word(scale.cycles());
+        let mut hash = Fnv64::new();
+        hash.write_len_prefixed(name.as_bytes());
+        hash.write_u64(scale.cycles());
         for cache in [&config.l1i, &config.l1d, &config.l2] {
             hash_cache_geometry(&mut hash, cache);
         }
-        hash.word(u64::from(config.memory_latency));
-        hash.word(u64::from(GENERATOR_VERSION));
-        hash.word(u64::from(codec::FORMAT_VERSION));
+        hash.write_u64(u64::from(config.memory_latency));
+        hash.write_u64(u64::from(GENERATOR_VERSION));
+        hash.write_u64(u64::from(codec::FORMAT_VERSION));
         hash.finish()
     }
 
@@ -143,9 +216,24 @@ impl ProfileStore {
     /// # Panics
     ///
     /// Panics if `name` is not one of
-    /// [`leakage_workloads::SUITE_NAMES`].
+    /// [`leakage_workloads::SUITE_NAMES`], or if the simulation itself
+    /// panics (re-raised with the same message; the store stays
+    /// usable). Use [`try_fetch`](ProfileStore::try_fetch) to handle
+    /// both as values.
     pub fn fetch(&self, name: &str, scale: Scale) -> Arc<BenchmarkProfile> {
         self.fetch_with(name, scale, &HierarchyConfig::alpha_like())
+    }
+
+    /// Like [`fetch`](ProfileStore::fetch), but returns failures as
+    /// [`StoreError`]s instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownBenchmark`] for names outside the suite,
+    /// [`StoreError::SimulationPanicked`] when the simulation (or a
+    /// fault-injection site inside it) panics.
+    pub fn try_fetch(&self, name: &str, scale: Scale) -> Result<Arc<BenchmarkProfile>, StoreError> {
+        self.try_fetch_with(name, scale, &HierarchyConfig::alpha_like())
     }
 
     /// Fetches (simulating at most once) the profile of a suite
@@ -154,34 +242,87 @@ impl ProfileStore {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is not one of
-    /// [`leakage_workloads::SUITE_NAMES`].
+    /// See [`fetch`](ProfileStore::fetch).
     pub fn fetch_with(
         &self,
         name: &str,
         scale: Scale,
         config: &HierarchyConfig,
     ) -> Arc<BenchmarkProfile> {
+        self.try_fetch_with(name, scale, config)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// The fallible core every fetch goes through.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_fetch`](ProfileStore::try_fetch).
+    pub fn try_fetch_with(
+        &self,
+        name: &str,
+        scale: Scale,
+        config: &HierarchyConfig,
+    ) -> Result<Arc<BenchmarkProfile>, StoreError> {
         let key = Self::profile_key(name, scale, config);
         let cell = {
-            let mut entries = self.entries.lock().expect("store mutex never poisoned");
-            Arc::clone(entries.entry(key).or_default())
+            let mut entries = self.lock_entries();
+            Arc::clone(entries.entry(key).or_insert_with(|| Arc::new(KeyCell::new())))
         };
-        if let Some(profile) = cell.get() {
-            self.hits.inc();
-            return Arc::clone(profile);
+        // Claim the cell or wait for the fetch that holds it. A failed
+        // resolution returns the cell to idle and wakes the waiters,
+        // one of which takes over here — so a panic delays racing
+        // fetches of this key but never wedges them.
+        {
+            let mut state = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                match &*state {
+                    CellState::Ready(profile) => {
+                        self.hits.inc();
+                        return Ok(Arc::clone(profile));
+                    }
+                    CellState::Running => {
+                        state = cell.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    CellState::Idle => {
+                        *state = CellState::Running;
+                        break;
+                    }
+                }
+            }
         }
-        // Not yet resolved: exactly one caller runs the closure; any
-        // racing fetches of the same key block here, then count a hit.
-        let mut resolved_here = false;
-        let profile = cell.get_or_init(|| {
-            resolved_here = true;
-            Arc::new(self.resolve_miss(key, name, scale, config))
-        });
-        if !resolved_here {
-            self.hits.inc();
-        }
-        Arc::clone(profile)
+        // Resolve outside the cell lock; catch panics so the cell (and
+        // this store's maps) survive a dying simulation.
+        let resolved = catch_unwind(AssertUnwindSafe(|| {
+            self.resolve_miss(key, name, scale, config)
+        }));
+        let mut state = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let result = match resolved {
+            Ok(Ok(profile)) => {
+                let profile = Arc::new(profile);
+                *state = CellState::Ready(Arc::clone(&profile));
+                Ok(profile)
+            }
+            Ok(Err(err)) => {
+                *state = CellState::Idle;
+                Err(err)
+            }
+            Err(payload) => {
+                *state = CellState::Idle;
+                Err(StoreError::SimulationPanicked {
+                    benchmark: name.to_string(),
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        };
+        cell.ready.notify_all();
+        result
+    }
+
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<KeyCell>>> {
+        // Recover, don't cascade: the map only holds Arc handles, so a
+        // fetch that panicked elsewhere leaves it structurally intact.
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn resolve_miss(
@@ -190,17 +331,21 @@ impl ProfileStore {
         name: &str,
         scale: Scale,
         config: &HierarchyConfig,
-    ) -> BenchmarkProfile {
+    ) -> Result<BenchmarkProfile, StoreError> {
+        // The per-benchmark kill switch: LEAKAGE_FAULTS=suite/gzip=panic
+        // dies here, inside the catch_unwind of the resolving fetch.
+        leakage_faults::panic_point(&format!("suite/{name}"));
         if let Some(profile) = self.load_from_disk(key, name) {
             self.disk_hits.inc();
-            return profile;
+            return Ok(profile);
         }
         self.misses.inc();
-        let mut bench = by_name(name, scale)
-            .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see SUITE_NAMES"));
+        let mut bench = by_name(name, scale).ok_or_else(|| StoreError::UnknownBenchmark {
+            name: name.to_string(),
+        })?;
         let profile = profile_benchmark_with(&mut bench, config.clone());
         self.save_to_disk(key, &profile);
-        profile
+        Ok(profile)
     }
 
     fn disk_path(&self, key: u64, name: &str) -> Option<PathBuf> {
@@ -211,27 +356,94 @@ impl ProfileStore {
 
     fn load_from_disk(&self, key: u64, name: &str) -> Option<BenchmarkProfile> {
         let path = self.disk_path(key, name)?;
-        let bytes = std::fs::read(&path).ok()?;
+        let bytes = leakage_faults::retry(Backoff::DISK, |_| {
+            leakage_faults::io_point("store/read")?;
+            std::fs::read(&path)
+        });
+        let bytes = match bytes {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(err) => {
+                warn!("cannot read {}: {err}; degrading to a miss", path.display());
+                return None;
+            }
+        };
         match codec::decode_profile(&bytes) {
             // The key already fixes the benchmark, but verify the name
             // anyway to catch hand-renamed files.
             Ok(profile) if profile.name == name => Some(profile),
-            _ => None,
+            Ok(profile) => {
+                self.quarantine(
+                    &path,
+                    &format!("file names {name:?} but contains {:?}", profile.name),
+                );
+                None
+            }
+            Err(err) => {
+                self.quarantine(&path, &err.to_string());
+                None
+            }
+        }
+    }
+
+    /// Moves a corrupt profile into `<dir>/quarantine/` so the
+    /// evidence survives for diagnosis and the broken bytes can never
+    /// be served again, then counts and logs the event. If the move
+    /// itself fails the file is deleted instead — an unreadable
+    /// profile must not keep wedging every future fetch of its key.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        self.quarantined.inc();
+        let quarantined = path
+            .parent()
+            .map(|dir| dir.join(QUARANTINE_SUBDIR))
+            .and_then(|qdir| {
+                std::fs::create_dir_all(&qdir).ok()?;
+                let target = qdir.join(path.file_name()?);
+                std::fs::rename(path, &target).ok()?;
+                Some(target)
+            });
+        match quarantined {
+            Some(target) => warn!(
+                "quarantined corrupt profile {} -> {}: {reason}",
+                path.display(),
+                target.display()
+            ),
+            None => {
+                let _ = std::fs::remove_file(path);
+                warn!(
+                    "deleted corrupt profile {} (quarantine move failed): {reason}",
+                    path.display()
+                );
+            }
         }
     }
 
     /// Best-effort: a failed write (read-only FS, disk full) degrades
     /// to in-memory memoization rather than failing the experiment.
+    /// Transient errors are retried with backoff; each attempt
+    /// re-encodes its own buffer so an injected truncation corrupts at
+    /// most that attempt's file.
     fn save_to_disk(&self, key: u64, profile: &BenchmarkProfile) {
         let Some(path) = self.disk_path(key, &profile.name) else {
             return;
         };
         if let Some(dir) = path.parent() {
-            if std::fs::create_dir_all(dir).is_err() {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                warn!("cannot create {}: {err}; profile not persisted", dir.display());
                 return;
             }
         }
-        let _ = write_atomically(&path, &codec::encode_profile(profile));
+        let bytes = codec::encode_profile(profile);
+        let written = leakage_faults::retry(Backoff::DISK, |_| {
+            let mut attempt = bytes.clone();
+            // Fault site: may truncate the buffer (torn-write
+            // simulation) or inject an I/O error.
+            leakage_faults::corrupt_point("store/write", &mut attempt)?;
+            write_atomically(&path, &attempt)
+        });
+        if let Err(err) = written {
+            warn!("cannot write {}: {err}; profile not persisted", path.display());
+        }
     }
 
     /// Current counter values.
@@ -240,59 +452,45 @@ impl ProfileStore {
             hits: self.hits.get(),
             misses: self.misses.get(),
             disk_hits: self.disk_hits.get(),
+            quarantined: self.quarantined.get(),
         }
     }
 
     /// Drops every memoized profile (counters keep accumulating). Disk
     /// files are untouched.
     pub fn clear(&self) {
-        self.entries
-            .lock()
-            .expect("store mutex never poisoned")
-            .clear();
+        self.lock_entries().clear();
     }
 }
 
-/// Writes via a keyed temp file + rename so concurrent processes never
-/// observe a half-written profile.
+/// Writes via a unique temp file + fsync + rename so neither
+/// concurrent processes nor a crash can expose a half-written profile:
+/// the rename is atomic, and the fsync before it guarantees the
+/// renamed-in bytes are durable (no window where the directory entry
+/// points at unsynced data).
 fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
+    // Unique per process *and* per call: two threads flushing the same
+    // key must not interleave writes into one temp file.
+    static SEQUENCE: AtomicU64 = AtomicU64::new(0);
+    let sequence = SEQUENCE.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{sequence}", std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
-fn hash_cache_geometry(hash: &mut Fnv, cache: &CacheConfig) {
-    hash.word(cache.size_bytes());
-    hash.word(u64::from(cache.ways()));
-    hash.word(u64::from(cache.line_bytes()));
-    hash.word(u64::from(cache.hit_latency()));
-}
-
-/// FNV-1a, word-at-a-time over explicit little-endian bytes.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, bytes: &[u8]) {
-        // Length first so "ab"+"c" and "a"+"bc" differ.
-        self.word(bytes.len() as u64);
-        for &byte in bytes {
-            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn word(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
+fn hash_cache_geometry(hash: &mut Fnv64, cache: &CacheConfig) {
+    hash.write_u64(cache.size_bytes());
+    hash.write_u64(u64::from(cache.ways()));
+    hash.write_u64(u64::from(cache.line_bytes()));
+    hash.write_u64(u64::from(cache.hit_latency()));
 }
 
 #[cfg(test)]
@@ -325,12 +523,12 @@ mod tests {
         let first = store.fetch("gzip", Scale::Test);
         assert_eq!(
             store.counters(),
-            StoreCounters { hits: 0, misses: 1, disk_hits: 0 }
+            StoreCounters { hits: 0, misses: 1, disk_hits: 0, quarantined: 0 }
         );
         let second = store.fetch("gzip", Scale::Test);
         assert_eq!(
             store.counters(),
-            StoreCounters { hits: 1, misses: 1, disk_hits: 0 }
+            StoreCounters { hits: 1, misses: 1, disk_hits: 0, quarantined: 0 }
         );
         // Same allocation, not merely an equal profile.
         assert!(Arc::ptr_eq(&first, &second));
@@ -374,22 +572,42 @@ mod tests {
         let reloaded = reader.fetch("gzip", Scale::Test);
         assert_eq!(
             reader.counters(),
-            StoreCounters { hits: 0, misses: 0, disk_hits: 1 }
+            StoreCounters { hits: 0, misses: 0, disk_hits: 1, quarantined: 0 }
         );
         assert_eq!(reloaded.name, original.name);
         assert_eq!(reloaded.icache.dist, original.icache.dist);
         assert_eq!(reloaded.dcache.cache, original.dcache.cache);
 
-        // Corrupt the file: the next fresh store self-heals by
-        // re-simulating.
-        let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        // Corrupt the file: the next fresh store quarantines it and
+        // self-heals by re-simulating.
+        let file = profile_files(&dir).pop().unwrap();
+        let name = file.file_name().unwrap().to_owned();
         std::fs::write(&file, b"garbage").unwrap();
         let healer = ProfileStore::with_disk_dir(&dir);
         let healed = healer.fetch("gzip", Scale::Test);
         assert_eq!(healer.counters().misses, 1);
+        assert_eq!(healer.counters().quarantined, 1);
         assert_eq!(healed.icache.dist, original.icache.dist);
+        // The evidence landed in quarantine/ and the slot was rewritten
+        // with a clean copy.
+        let quarantined = dir.join(QUARANTINE_SUBDIR).join(name);
+        assert_eq!(std::fs::read(&quarantined).unwrap(), b"garbage");
+        let rewritten = ProfileStore::with_disk_dir(&dir);
+        rewritten.fetch("gzip", Scale::Test);
+        assert_eq!(rewritten.counters().disk_hits, 1);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `.profile` files under `dir` (ignores `quarantine/`).
+    fn profile_files(dir: &Path) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|entry| entry.unwrap().path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "profile"))
+            .collect();
+        files.sort();
+        files
     }
 
     #[test]
@@ -402,4 +620,18 @@ mod tests {
         let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(message.contains("perlbmk"), "{message}");
     }
+
+    #[test]
+    fn unknown_benchmark_is_a_typed_error() {
+        let store = ProfileStore::new();
+        let err = store.try_fetch("perlbmk", Scale::Test).unwrap_err();
+        assert!(matches!(err, StoreError::UnknownBenchmark { .. }), "{err}");
+        // The failed fetch must not wedge the store.
+        store.fetch("gzip", Scale::Test);
+    }
+
+    // Panic-injection recovery tests live in `tests/fault_tolerance.rs`
+    // (their own process): the fault plane is process-global, and the
+    // pipeline unit tests in this binary fetch the whole suite
+    // concurrently.
 }

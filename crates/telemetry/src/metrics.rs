@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A monotonically increasing counter (relaxed atomics — safe to bump
 /// from any thread, including rayon workers).
@@ -156,6 +156,11 @@ pub struct MetricsSnapshot {
 
 /// A name-keyed collection of metrics. One process-wide instance lives
 /// behind [`registry`]; tests may build private ones.
+///
+/// Lock poisoning is recovered, not propagated: the maps only ever
+/// hold `Arc` handles (inserts cannot half-complete), so a thread that
+/// panicked while registering leaves the registry fully usable, and
+/// metrics keep flowing from the surviving benchmark tasks.
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
@@ -173,13 +178,13 @@ impl Registry {
     /// shared: every caller asking for the same name increments the
     /// same counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("registry mutex never poisoned");
+        let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("registry mutex never poisoned");
+        let mut map = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
@@ -187,7 +192,7 @@ impl Registry {
     /// Later callers get the existing histogram regardless of the
     /// bounds they pass (first creation wins).
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("registry mutex never poisoned");
+        let mut map = self.histograms.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
@@ -200,21 +205,21 @@ impl Registry {
             counters: self
                 .counters
                 .lock()
-                .expect("registry mutex never poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(name, c)| (name.clone(), c.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .expect("registry mutex never poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(name, g)| (name.clone(), g.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .expect("registry mutex never poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(name, h)| (name.clone(), h.snapshot()))
                 .collect(),

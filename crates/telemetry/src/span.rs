@@ -23,7 +23,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Separator between path components. Span names must not contain it.
@@ -85,7 +85,10 @@ impl Drop for SpanGuard {
         let elapsed = start.elapsed().as_nanos();
         let path = STACK.with(|stack| stack.borrow_mut().pop());
         let Some(path) = path else { return };
-        let mut totals = totals().lock().expect("span mutex never poisoned");
+        // Recover a poisoned profile rather than cascading the panic:
+        // a benchmark task that died mid-span must not take the whole
+        // run's telemetry (or the other rayon workers) down with it.
+        let mut totals = totals().lock().unwrap_or_else(PoisonError::into_inner);
         let stat = totals.entry(path).or_default();
         stat.calls += 1;
         stat.total_nanos += elapsed;
@@ -143,7 +146,7 @@ pub fn current_path() -> Option<String> {
 pub fn span_report() -> Vec<(String, SpanStat)> {
     totals()
         .lock()
-        .expect("span mutex never poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|(path, stat)| (path.clone(), *stat))
         .collect()

@@ -9,13 +9,24 @@
 //! record: cycle u64 | pc u64 | addr u64 | kind u8   (25 bytes, LE)
 //! ```
 //!
+//! # Errors
+//!
+//! Every fallible entry point returns [`TraceError`]
+//! (re-exported from `leakage-faults`), which separates *transport*
+//! failures ([`TraceError::Io`], possibly transient and retryable)
+//! from *structural* ones (bad magic, unsupported version, torn
+//! record, invalid kind byte — never retryable). The reader and
+//! writer are instrumented as the `trace/read` and `trace/write`
+//! fault-injection sites, so `LEAKAGE_FAULTS=trace/read=io` can
+//! rehearse transport failure without a faulty disk.
+//!
 //! # Examples
 //!
 //! ```
 //! use leakage_trace::io::{read_trace, TraceWriter};
-//! use leakage_trace::{Cycle, MemoryAccess, Pc, TraceSink};
+//! use leakage_trace::{Cycle, MemoryAccess, Pc, TraceSink, TraceError};
 //!
-//! # fn main() -> std::io::Result<()> {
+//! # fn main() -> Result<(), TraceError> {
 //! let mut buffer = Vec::new();
 //! {
 //!     let mut writer = TraceWriter::new(&mut buffer)?;
@@ -29,7 +40,8 @@
 //! ```
 
 use crate::{AccessKind, Address, Cycle, MemoryAccess, Pc, TraceSink, VecTrace};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+pub use leakage_faults::TraceError;
+use std::io::{BufReader, BufWriter, Read, Write};
 
 /// File magic.
 const MAGIC: [u8; 4] = *b"LKTR";
@@ -37,6 +49,11 @@ const MAGIC: [u8; 4] = *b"LKTR";
 const VERSION: u32 = 1;
 /// Bytes per record.
 const RECORD_BYTES: usize = 25;
+
+/// Fault-injection site covering the read path.
+const READ_SITE: &str = "trace/read";
+/// Fault-injection site covering the write path.
+const WRITE_SITE: &str = "trace/write";
 
 fn kind_to_byte(kind: AccessKind) -> u8 {
     match kind {
@@ -46,16 +63,21 @@ fn kind_to_byte(kind: AccessKind) -> u8 {
     }
 }
 
-fn kind_from_byte(byte: u8) -> io::Result<AccessKind> {
+fn kind_from_byte(byte: u8) -> Result<AccessKind, TraceError> {
     match byte {
         0 => Ok(AccessKind::InstFetch),
         1 => Ok(AccessKind::Load),
         2 => Ok(AccessKind::Store),
-        other => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("invalid access kind byte {other}"),
-        )),
+        other => Err(TraceError::InvalidKind(other)),
     }
+}
+
+/// Reads a little-endian `u64` out of a record without any fallible
+/// conversion (the bounds are compile-time facts of the layout).
+fn le_u64(record: &[u8; RECORD_BYTES], offset: usize) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&record[offset..offset + 8]);
+    u64::from_le_bytes(word)
 }
 
 /// Streams accesses into a writer in the binary format.
@@ -66,7 +88,7 @@ fn kind_from_byte(byte: u8) -> io::Result<AccessKind> {
 /// `flush`.
 pub struct TraceWriter<W: Write> {
     writer: BufWriter<W>,
-    deferred_error: Option<io::Error>,
+    deferred_error: Option<TraceError>,
     records: u64,
 }
 
@@ -75,8 +97,10 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from writing the header.
-    pub fn new(writer: W) -> io::Result<Self> {
+    /// Propagates I/O errors (injected or real) from writing the
+    /// header.
+    pub fn new(writer: W) -> Result<Self, TraceError> {
+        leakage_faults::io_point(WRITE_SITE)?;
         let mut writer = BufWriter::new(writer);
         writer.write_all(&MAGIC)?;
         writer.write_all(&VERSION.to_le_bytes())?;
@@ -98,11 +122,12 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Returns the first error encountered while accepting records, or
     /// any error from the final flush.
-    pub fn flush(&mut self) -> io::Result<()> {
+    pub fn flush(&mut self) -> Result<(), TraceError> {
         if let Some(err) = self.deferred_error.take() {
             return Err(err);
         }
-        self.writer.flush()
+        self.writer.flush()?;
+        Ok(())
     }
 }
 
@@ -117,7 +142,7 @@ impl<W: Write> TraceSink for TraceWriter<W> {
         record[16..24].copy_from_slice(&access.addr.raw().to_le_bytes());
         record[24] = kind_to_byte(access.kind);
         if let Err(err) = self.writer.write_all(&record) {
-            self.deferred_error = Some(err);
+            self.deferred_error = Some(err.into());
         } else {
             self.records += 1;
         }
@@ -132,22 +157,24 @@ impl<W: Write> TraceSink for TraceWriter<W> {
 ///
 /// Fails on a bad header, an unsupported version, a torn final record,
 /// an invalid kind byte, or any underlying I/O error.
-pub fn replay_trace<R: Read>(reader: R, sink: &mut dyn TraceSink) -> io::Result<u64> {
+pub fn replay_trace<R: Read>(reader: R, sink: &mut dyn TraceSink) -> Result<u64, TraceError> {
+    leakage_faults::io_point(READ_SITE)?;
     let mut reader = BufReader::new(reader);
     let mut header = [0u8; 8];
-    reader.read_exact(&mut header)?;
+    reader
+        .read_exact(&mut header)
+        .map_err(|err| match err.kind() {
+            std::io::ErrorKind::UnexpectedEof => TraceError::TornRecord,
+            _ => TraceError::Io(err),
+        })?;
     if header[0..4] != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a leakage trace (bad magic)",
-        ));
+        return Err(TraceError::BadMagic);
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let mut version = [0u8; 4];
+    version.copy_from_slice(&header[4..8]);
+    let version = u32::from_le_bytes(version);
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported trace version {version}"),
-        ));
+        return Err(TraceError::UnsupportedVersion { found: version });
     }
     let mut count = 0;
     let mut record = [0u8; RECORD_BYTES];
@@ -155,14 +182,11 @@ pub fn replay_trace<R: Read>(reader: R, sink: &mut dyn TraceSink) -> io::Result<
         match read_record(&mut reader, &mut record)? {
             false => return Ok(count),
             true => {
-                let cycle = u64::from_le_bytes(record[0..8].try_into().expect("8"));
-                let pc = u64::from_le_bytes(record[8..16].try_into().expect("8"));
-                let addr = u64::from_le_bytes(record[16..24].try_into().expect("8"));
                 let kind = kind_from_byte(record[24])?;
                 sink.accept(MemoryAccess::new(
-                    Cycle::new(cycle),
-                    Pc::new(pc),
-                    Address::new(addr),
+                    Cycle::new(le_u64(&record, 0)),
+                    Pc::new(le_u64(&record, 8)),
+                    Address::new(le_u64(&record, 16)),
                     kind,
                 ));
                 count += 1;
@@ -172,7 +196,10 @@ pub fn replay_trace<R: Read>(reader: R, sink: &mut dyn TraceSink) -> io::Result<
 }
 
 /// Reads one full record; `Ok(false)` on clean EOF, error on torn data.
-fn read_record<R: Read>(reader: &mut R, record: &mut [u8; RECORD_BYTES]) -> io::Result<bool> {
+fn read_record<R: Read>(
+    reader: &mut R,
+    record: &mut [u8; RECORD_BYTES],
+) -> Result<bool, TraceError> {
     let mut filled = 0;
     while filled < RECORD_BYTES {
         let n = reader.read(&mut record[filled..])?;
@@ -180,10 +207,7 @@ fn read_record<R: Read>(reader: &mut R, record: &mut [u8; RECORD_BYTES]) -> io::
             return if filled == 0 {
                 Ok(false)
             } else {
-                Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "torn trace record at end of stream",
-                ))
+                Err(TraceError::TornRecord)
             };
         }
         filled += n;
@@ -196,7 +220,7 @@ fn read_record<R: Read>(reader: &mut R, record: &mut [u8; RECORD_BYTES]) -> io::
 /// # Errors
 ///
 /// See [`replay_trace`].
-pub fn read_trace<R: Read>(reader: R) -> io::Result<VecTrace> {
+pub fn read_trace<R: Read>(reader: R) -> Result<VecTrace, TraceError> {
     let mut trace = VecTrace::new();
     replay_trace(reader, &mut trace)?;
     Ok(trace)
@@ -214,26 +238,31 @@ mod tests {
         ]
     }
 
-    #[test]
-    fn roundtrip() {
+    /// Builds an encoded sample trace, asserting the happy path.
+    fn encoded_sample() -> Vec<u8> {
         let mut buffer = Vec::new();
         {
-            let mut writer = TraceWriter::new(&mut buffer).unwrap();
+            let mut writer = TraceWriter::new(&mut buffer).expect("in-memory header write");
             for access in sample() {
                 writer.accept(access);
             }
-            assert_eq!(writer.records(), 3);
-            writer.flush().unwrap();
+            writer.flush().expect("in-memory flush");
         }
+        buffer
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buffer = encoded_sample();
         assert_eq!(buffer.len(), 8 + 3 * RECORD_BYTES);
-        let replayed = read_trace(&buffer[..]).unwrap();
+        let replayed = read_trace(&buffer[..]).expect("clean trace replays");
         assert_eq!(replayed.events(), &sample()[..]);
     }
 
     #[test]
     fn bad_magic_rejected() {
         let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceError::BadMagic));
         assert!(err.to_string().contains("magic"));
     }
 
@@ -243,54 +272,46 @@ mod tests {
         buffer.extend_from_slice(&MAGIC);
         buffer.extend_from_slice(&99u32.to_le_bytes());
         let err = read_trace(&buffer[..]).unwrap_err();
-        assert!(err.to_string().contains("version 99"));
+        assert!(matches!(err, TraceError::UnsupportedVersion { found: 99 }));
     }
 
     #[test]
     fn torn_record_rejected() {
-        let mut buffer = Vec::new();
-        {
-            let mut writer = TraceWriter::new(&mut buffer).unwrap();
-            writer.accept(sample()[0]);
-            writer.flush().unwrap();
-        }
+        let mut buffer = encoded_sample();
         buffer.truncate(buffer.len() - 3);
         let err = read_trace(&buffer[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(matches!(err, TraceError::TornRecord));
+    }
+
+    #[test]
+    fn torn_header_rejected() {
+        let err = read_trace(&b"LKTR\x01"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::TornRecord));
     }
 
     #[test]
     fn invalid_kind_rejected() {
-        let mut buffer = Vec::new();
-        {
-            let mut writer = TraceWriter::new(&mut buffer).unwrap();
-            writer.accept(sample()[0]);
-            writer.flush().unwrap();
-        }
-        let last = buffer.len() - 1;
-        buffer[last] = 7;
+        let mut buffer = encoded_sample();
+        // Corrupt the kind byte of the first record.
+        buffer[8 + RECORD_BYTES - 1] = 7;
         let err = read_trace(&buffer[..]).unwrap_err();
-        assert!(err.to_string().contains("kind byte 7"));
+        assert!(matches!(err, TraceError::InvalidKind(7)));
     }
 
     #[test]
     fn empty_trace_roundtrip() {
         let mut buffer = Vec::new();
-        TraceWriter::new(&mut buffer).unwrap().flush().unwrap();
-        let replayed = read_trace(&buffer[..]).unwrap();
+        TraceWriter::new(&mut buffer)
+            .expect("header")
+            .flush()
+            .expect("flush");
+        let replayed = read_trace(&buffer[..]).expect("empty trace replays");
         assert!(replayed.is_empty());
     }
 
     #[test]
     fn replay_into_custom_sink() {
-        let mut buffer = Vec::new();
-        {
-            let mut writer = TraceWriter::new(&mut buffer).unwrap();
-            for access in sample() {
-                writer.accept(access);
-            }
-            writer.flush().unwrap();
-        }
+        let buffer = encoded_sample();
         struct Counter(u64);
         impl TraceSink for Counter {
             fn accept(&mut self, _access: MemoryAccess) {
@@ -298,8 +319,43 @@ mod tests {
             }
         }
         let mut counter = Counter(0);
-        let n = replay_trace(&buffer[..], &mut counter).unwrap();
+        let n = replay_trace(&buffer[..], &mut counter).expect("replay");
         assert_eq!(n, 3);
         assert_eq!(counter.0, 3);
+    }
+
+    /// A writer over a failing sink defers the error to `flush` and
+    /// stops counting records, rather than panicking mid-stream.
+    #[test]
+    fn write_errors_defer_to_flush() {
+        struct Failing {
+            budget: usize,
+        }
+        impl Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Other,
+                        "sink died",
+                    ));
+                }
+                let n = buf.len().min(self.budget);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // Room for the header only; BufWriter's spill then fails.
+        let mut writer = TraceWriter::new(Failing { budget: 8 }).expect("header buffered");
+        for _ in 0..10_000 {
+            for access in sample() {
+                writer.accept(access);
+            }
+        }
+        let err = writer.flush().unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "{err}");
+        assert!(writer.records() < 30_000, "records stop counting after the error");
     }
 }

@@ -38,6 +38,7 @@ mod source;
 mod stats;
 
 pub use addr::{Address, LineAddr, Pc};
+pub use io::TraceError;
 pub use event::{AccessKind, MemoryAccess};
 pub use footprint::FootprintTracker;
 pub use source::{TraceSink, TraceSource, VecTrace};

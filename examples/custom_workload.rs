@@ -93,7 +93,7 @@ fn kv_server_spec() -> Spec {
     }
 }
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = kv_server_spec();
     spec.validate().expect("structurally valid workload");
     let mut workload = cache_leakage_limits::workloads::Benchmark::from_spec(

@@ -20,6 +20,8 @@
 //!   (decay counters, periodic drowsy, feedback-adaptive decay).
 //! * [`workloads`] — the six SPEC2000-analog synthetic benchmarks.
 //! * [`experiments`] — the harness regenerating every table and figure.
+//! * [`faults`] — typed errors, deterministic fault injection
+//!   (`LEAKAGE_FAULTS`), and retry helpers.
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@ pub use leakage_cachesim as cachesim;
 pub use leakage_core as core;
 pub use leakage_energy as energy;
 pub use leakage_experiments as experiments;
+pub use leakage_faults as faults;
 pub use leakage_intervals as intervals;
 pub use leakage_online as online;
 pub use leakage_prefetch as prefetch;
