@@ -127,15 +127,7 @@ fn main() {
         match arg.as_str() {
             "--scale" => {
                 let value = args.next().unwrap_or_else(|| usage());
-                scale = match value.as_str() {
-                    "test" => Scale::Test,
-                    "small" => Scale::Small,
-                    "paper" => Scale::Paper,
-                    number => match number.parse::<u64>() {
-                        Ok(cycles) => Scale::Custom(cycles),
-                        Err(_) => usage(),
-                    },
-                };
+                scale = Scale::parse_arg(&value).unwrap_or_else(|| usage());
             }
             "--csv" => csv = true,
             "--metrics" => metrics = true,

@@ -51,6 +51,7 @@ pub mod fig9;
 pub mod implementable;
 pub mod online;
 mod pipeline;
+pub mod query;
 mod render;
 pub mod store;
 pub mod table1;

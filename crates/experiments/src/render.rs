@@ -1,5 +1,6 @@
-//! Plain-text and CSV table rendering.
+//! Plain-text, CSV, Markdown, and JSON table rendering.
 
+use leakage_telemetry::json::{self, Json};
 use serde::{Deserialize, Serialize};
 
 /// A rendered experiment result: a titled grid of cells.
@@ -134,6 +135,70 @@ impl Table {
         }
         out
     }
+
+    /// Renders the canonical JSON encoding shared by the run manifest
+    /// tooling and the analysis server:
+    ///
+    /// ```json
+    /// {"title": "...", "headers": ["...", ...], "rows": [["...", ...], ...]}
+    /// ```
+    ///
+    /// Cells stay strings — they are the exact characters the batch
+    /// pipeline prints, so a served table is byte-identical in values
+    /// to the CSV artifacts.
+    pub fn to_json(&self) -> String {
+        let row = |cells: &[String]| json::array(cells.iter().map(|c| json::string(c)));
+        json::object([
+            json::key("title") + &json::string(&self.title),
+            json::key("headers") + &row(&self.headers),
+            json::key("rows") + &json::array(self.rows.iter().map(|r| row(r))),
+        ])
+    }
+
+    /// Parses a [`to_json`](Table::to_json) document back into a
+    /// table (the round-trip counterpart, used by clients of the
+    /// analysis server and by the codec tests).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    pub fn from_json(text: &str) -> Result<Table, String> {
+        let doc = json::parse(text).map_err(|err| err.to_string())?;
+        let strings = |value: &Json, what: &str| -> Result<Vec<String>, String> {
+            value
+                .as_array()
+                .ok_or_else(|| format!("{what} is not an array"))?
+                .iter()
+                .map(|cell| {
+                    cell.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{what} holds a non-string cell"))
+                })
+                .collect()
+        };
+        let title = doc
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or("missing string \"title\"")?;
+        let headers = strings(doc.get("headers").ok_or("missing \"headers\"")?, "headers")?;
+        let mut table = Table::new(title, headers);
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("missing array \"rows\"")?;
+        for (index, row) in rows.iter().enumerate() {
+            let cells = strings(row, "row")?;
+            if cells.len() != table.headers().len() {
+                return Err(format!(
+                    "row {index} has {} cells, header has {}",
+                    cells.len(),
+                    table.headers().len()
+                ));
+            }
+            table.push_row(cells);
+        }
+        Ok(table)
+    }
 }
 
 impl std::fmt::Display for Table {
@@ -187,6 +252,37 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        // Cells exercising every escape class the renderer can emit.
+        let mut t = Table::new("Table X: quotes \"and\" commas", vec!["a,b".into(), "c".into()]);
+        t.push_row(vec!["12.3".into(), "say \"hi\"\nline2".into()]);
+        t.push_row(vec!["-4".into(), "τ≥8".into()]);
+        let doc = t.to_json();
+        let back = Table::from_json(&doc).unwrap();
+        assert_eq!(back, t, "JSON round-trip must be lossless");
+        // Canonical form is stable: re-encoding the parsed table is
+        // byte-identical.
+        assert_eq!(back.to_json(), doc);
+        // Real artifacts round-trip too.
+        let real = crate::table1::generate();
+        assert_eq!(Table::from_json(&real.to_json()).unwrap(), real);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_tables() {
+        for bad in [
+            "not json",
+            "{\"headers\": [], \"rows\": []}",
+            "{\"title\": \"t\", \"rows\": []}",
+            "{\"title\": \"t\", \"headers\": [\"a\"], \"rows\": [[\"1\", \"2\"]]}",
+            "{\"title\": \"t\", \"headers\": [\"a\"], \"rows\": [[1]]}",
+            "{\"title\": \"t\", \"headers\": [\"a\"], \"rows\": 3}",
+        ] {
+            assert!(Table::from_json(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -489,6 +489,54 @@ mod tests {
     }
 
     #[test]
+    fn effective_theta_at_exact_tick_boundaries() {
+        // tick = 4000, 2 bits => max_count = 3: a timer armed *on* a
+        // tick sees the next tick one full period away and saturates
+        // after (max_count - 1) further ticks, so the effective
+        // threshold is exactly 3 ticks — the maximum the quantized
+        // hardware can express.
+        let ctrl = Controller::quantized_decay(12_000);
+        assert_eq!(ctrl.effective_theta(c(4_000), 0), Some(12_000));
+        assert_eq!(ctrl.effective_theta(c(8_000), 0), Some(12_000));
+        assert_eq!(ctrl.effective_theta(c(0), 0), Some(12_000));
+        // One cycle past the boundary loses exactly that cycle; one
+        // cycle before it sits at the minimum (barely over 2 ticks).
+        assert_eq!(ctrl.effective_theta(c(4_001), 0), Some(11_999));
+        assert_eq!(ctrl.effective_theta(c(8_001), 0), Some(11_999));
+        assert_eq!(ctrl.effective_theta(c(3_999), 0), Some(8_001));
+        assert_eq!(ctrl.effective_theta(c(7_999), 0), Some(8_001));
+        // The phase-dependent threshold is always within (2, 3] ticks.
+        for t0 in [0u64, 1, 3_999, 4_000, 4_001, 7_999, 8_000, 8_001, 11_999] {
+            let theta = ctrl.effective_theta(c(t0), 0).unwrap();
+            assert!(theta > 8_000 && theta <= 12_000, "t0={t0}: theta {theta}");
+        }
+    }
+
+    #[test]
+    fn effective_theta_family_coverage() {
+        // The guarded `expect("decay")` transitions in `trajectory`
+        // rely on exactly this Some/None split; assert it explicitly
+        // at the boundary cycles used above.
+        for t0 in [c(4_000), c(8_000)] {
+            assert_eq!(Controller::decay(10_000).effective_theta(t0, 0), Some(10_000));
+            assert_eq!(
+                Controller::decay_idealized(10_000).effective_theta(t0, 0),
+                Some(10_000)
+            );
+            assert_eq!(
+                Controller::drowsy_then_sleep(4_000, 60_000).effective_theta(t0, 0),
+                Some(60_000)
+            );
+            // Adaptive decay reports whatever threshold armed the timer.
+            assert_eq!(
+                Controller::adaptive_decay().effective_theta(t0, 7_777),
+                Some(7_777)
+            );
+            assert_eq!(Controller::periodic_drowsy(4_000).effective_theta(t0, 0), None);
+        }
+    }
+
+    #[test]
     fn periodic_drowsy_phase_exactness() {
         let p = params();
         let ctrl = Controller::periodic_drowsy(4_000);

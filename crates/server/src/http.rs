@@ -1,0 +1,429 @@
+//! A minimal HTTP/1.1 protocol layer over `std::net` — request
+//! parsing, response writing, and a tiny blocking client (used by the
+//! load generator and the integration tests).
+//!
+//! Scope is deliberately narrow: one request per connection
+//! (`Connection: close`), `Content-Length` bodies only (no chunked
+//! encoding), ASCII request targets with percent-escapes. That subset
+//! is everything the analysis service needs, and keeping it small is
+//! what lets the crate stay dependency-free.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Maximum size of the request line plus headers.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request body (`/v1/sweep` batches are the only
+/// bodies; a thousand points is ~100 bytes each).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, percent-decoded path, decoded query
+/// pairs in arrival order, and the raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path, always starting with `/`.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs, in query-string order.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The canonical cache key for this request: method and path plus
+    /// the query pairs re-sorted, so `?a=1&b=2` and `?b=2&a=1` share a
+    /// response-cache entry.
+    pub fn canonical_key(&self) -> String {
+        let mut pairs: Vec<&(String, String)> = self.query.iter().collect();
+        pairs.sort();
+        let query: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{} {}?{}", self.method, self.path, query.join("&"))
+    }
+}
+
+/// Why a request could not be parsed, with the status the server
+/// should answer.
+#[derive(Debug)]
+pub struct BadRequest {
+    /// The HTTP status to answer with (400, 413, or 431).
+    pub status: u16,
+    /// Human-readable reason, echoed in the error body.
+    pub reason: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        BadRequest {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// `Ok(Err(_))` for malformed requests the server should answer with
+/// a 4xx; `Err(_)` for transport failures (timeout, reset) where no
+/// answer can be delivered.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, BadRequest>> {
+    let mut reader = BufReader::new(stream);
+    let mut header = Vec::new();
+    // Read byte-wise up to the blank line; bounded by MAX_HEADER_BYTES.
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if header.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before request",
+                    ));
+                }
+                break;
+            }
+            _ => header.push(byte[0]),
+        }
+        if header.ends_with(b"\r\n\r\n") || header.ends_with(b"\n\n") {
+            break;
+        }
+        if header.len() > MAX_HEADER_BYTES {
+            return Ok(Err(BadRequest::new(431, "request headers too large")));
+        }
+    }
+    let text = String::from_utf8_lossy(&header);
+    let mut lines = text.lines();
+    let request_line = match lines.next() {
+        Some(line) if !line.trim().is_empty() => line,
+        _ => return Ok(Err(BadRequest::new(400, "empty request line"))),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(method), Some(target)) => (method.to_ascii_uppercase(), target),
+        _ => return Ok(Err(BadRequest::new(400, "malformed request line"))),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return Ok(Err(BadRequest::new(400, "bad Content-Length"))),
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(BadRequest::new(413, "request body too large")));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    let Some(path) = percent_decode(raw_path) else {
+        return Ok(Err(BadRequest::new(400, "bad percent-escape in path")));
+    };
+    if !path.starts_with('/') {
+        return Ok(Err(BadRequest::new(400, "request target must be absolute")));
+    }
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match (percent_decode(k), percent_decode(v)) {
+            (Some(k), Some(v)) => query.push((k, v)),
+            _ => return Ok(Err(BadRequest::new(400, "bad percent-escape in query"))),
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. `None` on truncated or
+/// non-hex escapes.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A response ready to serialize: status, content type, extra headers
+/// (e.g. `Retry-After`), body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An `application/json` response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A `text/csv` response.
+    pub fn csv(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/csv",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error body `{"error": reason}` with the given status.
+    pub fn error(status: u16, reason: &str) -> Self {
+        let body = leakage_telemetry::json::object([
+            leakage_telemetry::json::key("error") + &leakage_telemetry::json::string(reason),
+        ]);
+        Response::json(status, body)
+    }
+
+    /// Adds a header, builder-style.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serializes the response (HTTP/1.1, `Connection: close`,
+    /// explicit `Content-Length`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the underlying stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// What the blocking client got back.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One blocking request over a fresh connection (the server is
+/// `Connection: close`, so connection-per-request is the protocol).
+///
+/// # Errors
+///
+/// Connect/read/write failures and timeouts.
+pub fn fetch(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or_default();
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("%2"), None);
+        assert_eq!(percent_decode("%zz"), None);
+    }
+
+    #[test]
+    fn canonical_key_sorts_query() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/table/2".into(),
+            query: vec![("scale".into(), "test".into()), ("format".into(), "csv".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(req.canonical_key(), "GET /v1/table/2?format=csv&scale=test");
+        let flipped = Request {
+            query: vec![("format".into(), "csv".into()), ("scale".into(), "test".into())],
+            ..req.clone()
+        };
+        assert_eq!(req.canonical_key(), flipped.canonical_key());
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::error(503, "queue full")
+            .with_header("Retry-After", "1".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\": \"queue full\"}"));
+        let length: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(length, "{\"error\": \"queue full\"}".len());
+    }
+}

@@ -1,0 +1,47 @@
+//! The leakage analysis service: a dependency-free HTTP/1.1 front end
+//! for the paper-reproduction pipeline.
+//!
+//! ```text
+//!   GET  /healthz                          liveness + suite listing
+//!   GET  /metrics                          Prometheus text exposition
+//!   GET  /v1/profile/<benchmark>?scale=..  memoized profile summary
+//!   GET  /v1/table/{1,2,3}?format=json|csv paper tables on demand
+//!   GET  /v1/figure/{7,8,9}?format=..      paper figure pairs
+//!   POST /v1/sweep                         batched Fig. 6 model points
+//! ```
+//!
+//! Production behaviors, all dependency-free on `std::net`:
+//!
+//! - **Admission control**: a bounded queue between acceptor and the
+//!   fixed worker pool; when full, the acceptor itself answers
+//!   503 + `Retry-After` ([`pool`]).
+//! - **Per-endpoint concurrency limits**: simulation-backed GETs and
+//!   sweep batches each hold a semaphore permit ([`limit`]).
+//! - **Response caching**: LRU keyed by the canonical query
+//!   ([`respcache`]).
+//! - **Panic isolation**: a panicking handler — including one armed
+//!   via `LEAKAGE_FAULTS=server/handler/<route>=panic` — costs that
+//!   request a 500, never a worker ([`routes`]).
+//! - **Graceful shutdown**: SIGINT/SIGTERM stop the acceptor, queued
+//!   connections drain, workers join ([`signal`], [`pool`]).
+//! - **Telemetry**: per-route request counters, latency histograms,
+//!   and an in-flight gauge in the shared registry, served back out
+//!   through `/metrics`.
+//!
+//! The [`loadgen`] module (and `loadgen` binary) is the closed-loop
+//! measurement harness: throughput plus p50/p95/p99 latency as JSON.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod limit;
+pub mod loadgen;
+pub mod pool;
+pub mod respcache;
+pub mod routes;
+pub mod signal;
+
+pub use http::{fetch, ClientResponse, Request, Response};
+pub use loadgen::{LoadgenConfig, LoadReport};
+pub use pool::{Server, ServerConfig};

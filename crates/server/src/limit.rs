@@ -1,0 +1,96 @@
+//! A counting semaphore for per-endpoint concurrency limits.
+//!
+//! Simulation-backed routes (`/v1/profile`, `/v1/table`,
+//! `/v1/figure`) and the sweep route each hold a permit while their
+//! handler runs; a request that cannot get one within its wait budget
+//! is shed with 503 + `Retry-After` instead of piling onto the
+//! profile store.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A counting semaphore (no poisoning: a panicking holder's permit is
+/// returned by the RAII guard's unwind).
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` concurrent holders.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquires a permit, waiting at most `wait`. `None` on timeout.
+    pub fn acquire(&self, wait: Duration) -> Option<Permit<'_>> {
+        let deadline = Instant::now() + wait;
+        let mut permits = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if *permits > 0 {
+                *permits -= 1;
+                return Some(Permit { semaphore: self });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timeout) = self
+                .freed
+                .wait_timeout(permits, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            permits = guard;
+            if timeout.timed_out() && *permits == 0 {
+                return None;
+            }
+        }
+    }
+}
+
+/// RAII permit; releasing (including during unwind) wakes one waiter.
+pub struct Permit<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut permits = self
+            .semaphore
+            .permits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *permits += 1;
+        self.semaphore.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_times_out_and_release_unblocks() {
+        let sem = Semaphore::new(1);
+        let held = sem.acquire(Duration::from_millis(10)).unwrap();
+        assert!(sem.acquire(Duration::from_millis(20)).is_none());
+        drop(held);
+        assert!(sem.acquire(Duration::from_millis(10)).is_some());
+    }
+
+    #[test]
+    fn permits_return_on_panic() {
+        let sem = Semaphore::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = sem.acquire(Duration::from_millis(10)).unwrap();
+            panic!("handler died");
+        }));
+        assert!(result.is_err());
+        assert!(
+            sem.acquire(Duration::from_millis(10)).is_some(),
+            "unwound permit must be released"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! A closed-loop load generator for the analysis service.
+//!
+//! Each connection-thread issues one request at a time
+//! (connection-per-request — the server is `Connection: close`),
+//! walking a weighted path mix round-robin. Closed-loop means offered
+//! load adapts to service rate, so the report measures the server's
+//! sustainable throughput rather than queue growth.
+
+use crate::http::{fetch, ClientResponse};
+use leakage_telemetry::json;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// What to offer against the server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// `(path, weight)` request mix; weights are relative frequencies.
+    pub mix: Vec<(String, u32)>,
+    /// Per-request client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:8080".parse().expect("literal address"),
+            connections: 4,
+            duration: Duration::from_secs(5),
+            mix: vec![
+                ("/v1/table/2?scale=test".to_string(), 8),
+                ("/healthz".to_string(), 1),
+                ("/metrics".to_string(), 1),
+            ],
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that completed with any HTTP status.
+    pub requests: u64,
+    /// 2xx responses.
+    pub status_2xx: u64,
+    /// 4xx responses.
+    pub status_4xx: u64,
+    /// 5xx responses.
+    pub status_5xx: u64,
+    /// Transport errors (connect/read/write failures, timeouts).
+    pub transport_errors: u64,
+    /// Wall-clock seconds the run took.
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl LoadReport {
+    /// The report as a JSON document (the loadgen CLI's output, and
+    /// what CI archives as `results/serving-baseline.json`).
+    pub fn to_json(&self) -> String {
+        let num_u = |v: u64| v.to_string();
+        json::object([
+            json::key("requests") + &num_u(self.requests),
+            json::key("status_2xx") + &num_u(self.status_2xx),
+            json::key("status_4xx") + &num_u(self.status_4xx),
+            json::key("status_5xx") + &num_u(self.status_5xx),
+            json::key("transport_errors") + &num_u(self.transport_errors),
+            json::key("elapsed_secs") + &format!("{:.3}", self.elapsed_secs),
+            json::key("throughput_rps") + &format!("{:.1}", self.throughput_rps),
+            json::key("p50_us") + &num_u(self.p50_us),
+            json::key("p95_us") + &num_u(self.p95_us),
+            json::key("p99_us") + &num_u(self.p99_us),
+        ])
+    }
+}
+
+/// Expands the weighted mix into a deterministic request schedule.
+fn schedule(mix: &[(String, u32)]) -> Vec<String> {
+    let mut paths = Vec::new();
+    for (path, weight) in mix {
+        for _ in 0..*weight {
+            paths.push(path.clone());
+        }
+    }
+    if paths.is_empty() {
+        paths.push("/healthz".to_string());
+    }
+    paths
+}
+
+struct ThreadStats {
+    latencies_us: Vec<u64>,
+    status_2xx: u64,
+    status_4xx: u64,
+    status_5xx: u64,
+    transport_errors: u64,
+}
+
+fn drive(config: &LoadgenConfig, offset: usize, deadline: Instant) -> ThreadStats {
+    let paths = schedule(&config.mix);
+    let mut stats = ThreadStats {
+        latencies_us: Vec::new(),
+        status_2xx: 0,
+        status_4xx: 0,
+        status_5xx: 0,
+        transport_errors: 0,
+    };
+    let mut cursor = offset % paths.len();
+    while Instant::now() < deadline {
+        let path = &paths[cursor];
+        cursor = (cursor + 1) % paths.len();
+        let started = Instant::now();
+        match fetch(config.addr, "GET", path, None, config.timeout) {
+            Ok(ClientResponse { status, .. }) => {
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                stats.latencies_us.push(micros);
+                match status {
+                    200..=299 => stats.status_2xx += 1,
+                    400..=499 => stats.status_4xx += 1,
+                    _ => stats.status_5xx += 1,
+                }
+            }
+            Err(_) => stats.transport_errors += 1,
+        }
+    }
+    stats
+}
+
+/// Sorted-latency percentile: nearest-rank over the merged sample.
+fn percentile(sorted_us: &[u64], fraction: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (fraction * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.saturating_sub(1).min(sorted_us.len() - 1)]
+}
+
+/// Runs the closed loop and aggregates the report.
+///
+/// # Errors
+///
+/// Thread-spawn failures only; per-request transport errors are
+/// counted in the report instead.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let mut handles = Vec::new();
+    for index in 0..config.connections.max(1) {
+        let config = config.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-{index}"))
+                .spawn(move || drive(&config, index, deadline))?,
+        );
+    }
+    let mut latencies = Vec::new();
+    let (mut s2, mut s4, mut s5, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    for handle in handles {
+        if let Ok(stats) = handle.join() {
+            latencies.extend(stats.latencies_us);
+            s2 += stats.status_2xx;
+            s4 += stats.status_4xx;
+            s5 += stats.status_5xx;
+            errors += stats.transport_errors;
+        }
+    }
+    latencies.sort_unstable();
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let requests = latencies.len() as u64;
+    Ok(LoadReport {
+        requests,
+        status_2xx: s2,
+        status_4xx: s4,
+        status_5xx: s5,
+        transport_errors: errors,
+        elapsed_secs: elapsed,
+        throughput_rps: requests as f64 / elapsed,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_respects_weights() {
+        let mix = vec![("/a".to_string(), 3), ("/b".to_string(), 1)];
+        let paths = schedule(&mix);
+        assert_eq!(paths.len(), 4);
+        assert_eq!(paths.iter().filter(|p| *p == "/a").count(), 3);
+        assert_eq!(schedule(&[]), vec!["/healthz".to_string()]);
+    }
+
+    #[test]
+    fn percentiles_over_sorted_samples() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.95), 95);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = LoadReport {
+            requests: 10,
+            status_2xx: 9,
+            status_4xx: 1,
+            status_5xx: 0,
+            transport_errors: 0,
+            elapsed_secs: 2.0,
+            throughput_rps: 5.0,
+            p50_us: 100,
+            p95_us: 200,
+            p99_us: 300,
+        };
+        let doc = leakage_telemetry::json::parse(&report.to_json()).unwrap();
+        assert_eq!(doc.get("requests").and_then(|v| v.as_f64()), Some(10.0));
+        assert_eq!(doc.get("throughput_rps").and_then(|v| v.as_f64()), Some(5.0));
+        assert_eq!(doc.get("p99_us").and_then(|v| v.as_f64()), Some(300.0));
+    }
+}

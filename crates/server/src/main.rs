@@ -1,0 +1,71 @@
+//! The `leakage-server` binary: serve the analysis API until
+//! SIGINT/SIGTERM, then drain and exit.
+
+use leakage_server::{signal, Server, ServerConfig};
+use leakage_workloads::Scale;
+use std::io::Write as _;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: leakage-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20                  [--scale test|small|paper|CYCLES] [--timeout-ms MS]\n\
+         \x20                  [--cache-entries N] [--sim-concurrency N] [--sweep-concurrency N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => config.queue_depth = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => {
+                config.default_scale =
+                    Scale::parse_arg(&value()).unwrap_or_else(|| usage());
+            }
+            "--timeout-ms" => {
+                config.request_timeout =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--cache-entries" => {
+                config.cache_entries = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--sim-concurrency" => {
+                config.sim_concurrency = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--sweep-concurrency" => {
+                config.sweep_concurrency = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_config();
+    signal::install_shutdown_handler();
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("leakage-server: failed to start: {err}");
+            std::process::exit(1);
+        }
+    };
+    // The exact line CI greps to discover the ephemeral port.
+    println!("listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("leakage-server: shutdown requested, draining");
+    server.shutdown();
+    eprintln!("leakage-server: drained, exiting");
+}

@@ -1,0 +1,381 @@
+//! The server core: acceptor, bounded admission queue, worker pool,
+//! graceful shutdown.
+//!
+//! ```text
+//!            ┌───────────┐   bounded    ┌──────────┐
+//!  accept ──►│ admission │─────────────►│ worker 0 │──► handler
+//!            │   queue   │   (depth N)  │ worker 1 │──► handler
+//!            └───────────┘              │   ...    │
+//!                 │ full                └──────────┘
+//!                 ▼
+//!         503 + Retry-After
+//! ```
+//!
+//! Backpressure is explicit: when the queue is full the acceptor
+//! itself writes a 503 with `Retry-After` and closes — the client
+//! learns immediately instead of queueing into a timeout. Shutdown is
+//! draining: the acceptor stops, queued connections are still served,
+//! then the workers exit.
+
+use crate::http::{read_request, Response};
+use crate::limit::Semaphore;
+use crate::respcache::ResponseCache;
+use crate::routes::{self, RouteContext};
+use leakage_experiments::ProfileStore;
+use leakage_telemetry::registry;
+use leakage_workloads::Scale;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Latency histogram bounds in microseconds (1ms .. 10s).
+const LATENCY_BOUNDS_US: [u64; 8] = [
+    1_000, 5_000, 20_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+];
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Admission queue depth; connections beyond it are shed.
+    pub queue_depth: usize,
+    /// Per-connection socket read/write timeout.
+    pub request_timeout: Duration,
+    /// LRU response-cache capacity (entries).
+    pub cache_entries: usize,
+    /// Scale used when a query names none.
+    pub default_scale: Scale,
+    /// Concurrent simulation-backed GETs.
+    pub sim_concurrency: usize,
+    /// Concurrent sweep batches.
+    pub sweep_concurrency: usize,
+    /// How long a request waits for a concurrency permit.
+    pub limit_wait: Duration,
+    /// `Retry-After` seconds on shed responses.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(30),
+            cache_entries: 128,
+            default_scale: Scale::Test,
+            sim_concurrency: 4,
+            sweep_concurrency: 2,
+            limit_wait: Duration::from_secs(10),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// The bounded admission queue between acceptor and workers.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct QueueInner {
+    connections: VecDeque<TcpStream>,
+    open: bool,
+}
+
+impl Queue {
+    fn new(depth: usize) -> Self {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                connections: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Admits a connection, or returns it when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.connections.len() >= self.depth {
+            return Err(stream);
+        }
+        inner.connections.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Takes the next connection; `None` once closed **and** drained,
+    /// so queued work is always served through shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(stream) = inner.connections.pop_front() {
+                return Some(stream);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admissions and wakes every worker to drain and exit.
+    fn close(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .open = false;
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .connections
+            .len()
+    }
+}
+
+/// A running analysis service. Dropping without
+/// [`shutdown`](Server::shutdown) aborts ungracefully (threads are
+/// detached); call `shutdown` to drain.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Bind/configuration I/O errors.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        // Nonblocking so the acceptor can poll the stop flag; under
+        // load accepts still happen back-to-back.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let ctx = Arc::new(RouteContext {
+            store: ProfileStore::global(),
+            cache: Arc::new(ResponseCache::new(config.cache_entries)),
+            sim_limit: Arc::new(Semaphore::new(config.sim_concurrency.max(1))),
+            sweep_limit: Arc::new(Semaphore::new(config.sweep_concurrency.max(1))),
+            default_scale: config.default_scale,
+            limit_wait: config.limit_wait,
+            retry_after_secs: config.retry_after_secs,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Queue::new(config.queue_depth.max(1)));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let retry_after = config.retry_after_secs;
+            let timeout = config.request_timeout;
+            std::thread::Builder::new()
+                .name("leakage-server-accept".to_string())
+                .spawn(move || accept_loop(&listener, &stop, &queue, retry_after, timeout))?
+        };
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for index in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let ctx = Arc::clone(&ctx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("leakage-server-worker-{index}"))
+                    .spawn(move || worker_loop(&queue, &ctx))?,
+            );
+        }
+
+        Ok(Server {
+            addr,
+            stop,
+            queue,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current admission-queue depth (observability for tests and the
+    /// health endpoint).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful shutdown: stop accepting, serve everything already
+    /// admitted, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Acceptor is gone: nothing new can be admitted. Closing the
+        // queue lets workers drain the backlog and exit.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    queue: &Queue,
+    retry_after_secs: u64,
+    timeout: Duration,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // A panic here (the injection site below, or a queue
+                // bug) must cost one connection, not the acceptor.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    leakage_faults::panic_point("server/accept");
+                    admit(stream, queue, retry_after_secs, timeout);
+                }));
+                if result.is_err() {
+                    registry().counter("server_accept_panics_total").inc();
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborted handshake):
+                // count and keep serving.
+                registry().counter("server_accept_errors_total").inc();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+fn admit(stream: TcpStream, queue: &Queue, retry_after_secs: u64, timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    if let Err(mut rejected) = queue.push(stream) {
+        registry().counter("server_admission_rejected_total").inc();
+        // Drain the request first (briefly — the acceptor must not be
+        // hostage to a slow sender): dropping a socket with unread
+        // bytes RSTs the connection and the client never sees the 503.
+        let _ = rejected.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = read_request(&mut rejected);
+        let _ = Response::error(503, "admission queue full")
+            .with_header("Retry-After", retry_after_secs.to_string())
+            .write_to(&mut rejected);
+        let _ = rejected.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+fn worker_loop(queue: &Queue, ctx: &RouteContext) {
+    while let Some(stream) = queue.pop() {
+        // Isolation belt-and-braces: `routes::handle` already catches
+        // handler panics; this outer catch covers the protocol layer
+        // so no panic whatsoever can kill a worker.
+        let result = catch_unwind(AssertUnwindSafe(|| serve_connection(stream, ctx)));
+        if result.is_err() {
+            registry().counter("server_worker_panics_total").inc();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, ctx: &RouteContext) {
+    registry().counter("server_requests_total").inc();
+    let inflight = registry().gauge("server_inflight_requests");
+    inflight.add(1);
+    let started = Instant::now();
+
+    let (route, response) = match read_request(&mut stream) {
+        Ok(Ok(request)) => {
+            let route = routes::route_name(&request);
+            (route, routes::handle(&request, ctx))
+        }
+        Ok(Err(bad)) => ("bad_request", Response::error(bad.status, &bad.reason)),
+        Err(_) => {
+            // Transport failure before a request existed; nothing to
+            // answer.
+            registry().counter("server_transport_errors_total").inc();
+            inflight.sub(1);
+            return;
+        }
+    };
+
+    match response.status {
+        400..=499 => registry().counter("server_responses_4xx_total").inc(),
+        500..=599 => registry().counter("server_responses_5xx_total").inc(),
+        _ => registry().counter("server_responses_2xx_total").inc(),
+    }
+    if response.write_to(&mut stream).is_err() {
+        registry().counter("server_transport_errors_total").inc();
+    }
+
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    registry()
+        .histogram(&format!("server_latency_us_{route}"), &LATENCY_BOUNDS_US)
+        .record(elapsed_us);
+    inflight.sub(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_above_depth_and_drains_after_close() {
+        let queue = Queue::new(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let connect = || TcpStream::connect(addr).unwrap();
+        let accept = |_: &TcpStream| listener.accept().unwrap().0;
+
+        let c1 = connect();
+        let c2 = connect();
+        let c3 = connect();
+        assert!(queue.push(accept(&c1)).is_ok());
+        assert!(queue.push(accept(&c2)).is_ok());
+        assert!(queue.push(accept(&c3)).is_err(), "third admit exceeds depth 2");
+        assert_eq!(queue.len(), 2);
+
+        queue.close();
+        assert!(queue.pop().is_some(), "drain continues after close");
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_none(), "then workers are released");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = ServerConfig::default();
+        assert!(config.workers >= 1);
+        assert!(config.queue_depth >= config.workers);
+        assert_eq!(config.default_scale, Scale::Test);
+    }
+}

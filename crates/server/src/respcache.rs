@@ -1,0 +1,155 @@
+//! LRU response cache keyed by the canonical query.
+//!
+//! Only successful `GET /v1/*` responses are cached — `/healthz` and
+//! `/metrics` must always be fresh, errors should retry the real
+//! path, and `POST /v1/sweep` is arbitrary-batch compute. Capacity is
+//! small (the artifact space is small), so eviction scans for the
+//! least-recently-used entry instead of threading an intrusive list.
+
+use crate::http::{Request, Response};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+/// A bounded LRU map from canonical request key to cached response.
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+}
+
+struct Entry {
+    response: Response,
+    last_used: u64,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` responses (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Whether this request/response pair is cacheable at all.
+    pub fn cacheable(request: &Request, response: &Response) -> bool {
+        request.method == "GET" && request.path.starts_with("/v1/") && response.status == 200
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Response> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.response.clone())
+    }
+
+    /// Inserts `response` under `key`, evicting the least-recently
+    /// used entry when full.
+    pub fn put(&self, key: &str, response: &Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(key) && inner.entries.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+            }
+        }
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                response: response.clone(),
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(tag: &str) -> Response {
+        Response::json(200, format!("{{\"tag\": \"{tag}\"}}"))
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let cache = ResponseCache::new(2);
+        cache.put("a", &resp("a"));
+        cache.put("b", &resp("b"));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.put("c", &resp("c"));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "b was least recently used");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = ResponseCache::new(1);
+        cache.put("k", &resp("v1"));
+        cache.put("k", &resp("v2"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("k").unwrap().body.ends_with(b"\"v2\"}"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResponseCache::new(0);
+        cache.put("k", &resp("v"));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cacheability_rules() {
+        let req = |method: &str, path: &str| Request {
+            method: method.into(),
+            path: path.into(),
+            query: Vec::new(),
+            body: Vec::new(),
+        };
+        let ok = Response::json(200, "{}".into());
+        let err = Response::error(500, "boom");
+        assert!(ResponseCache::cacheable(&req("GET", "/v1/table/2"), &ok));
+        assert!(!ResponseCache::cacheable(&req("GET", "/healthz"), &ok));
+        assert!(!ResponseCache::cacheable(&req("GET", "/metrics"), &ok));
+        assert!(!ResponseCache::cacheable(&req("POST", "/v1/sweep"), &ok));
+        assert!(!ResponseCache::cacheable(&req("GET", "/v1/table/2"), &err));
+    }
+}

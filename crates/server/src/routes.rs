@@ -1,0 +1,577 @@
+//! Request routing and handlers.
+//!
+//! Every handler runs inside [`handle`]'s `catch_unwind`, behind its
+//! route's fault-injection site `server/handler/<route>`, so an armed
+//! panic (or a genuine handler bug) becomes a 500 for that one
+//! connection and never takes down a pool worker.
+
+use crate::http::{Request, Response};
+use crate::limit::Semaphore;
+use crate::respcache::ResponseCache;
+use leakage_cachesim::Level1;
+use leakage_experiments::query::{self, QueryError, SweepPoint};
+use leakage_experiments::{CacheProfile, ProfileStore, Table};
+use leakage_faults::StoreError;
+use leakage_telemetry::json::{self, Json};
+use leakage_telemetry::prometheus_text;
+use leakage_telemetry::registry;
+use leakage_workloads::{Scale, SUITE_NAMES};
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted `Scale::Custom` cycle count — a served query must
+/// not be able to commission an unbounded simulation.
+pub const MAX_CUSTOM_CYCLES: u64 = 50_000_000;
+
+/// Largest accepted `/v1/sweep` batch.
+pub const MAX_SWEEP_POINTS: usize = 512;
+
+/// Everything a handler needs, shared across pool workers.
+pub struct RouteContext {
+    /// The memoized profile store backing every simulation query.
+    pub store: &'static ProfileStore,
+    /// LRU response cache.
+    pub cache: Arc<ResponseCache>,
+    /// Concurrency limit for simulation-backed GETs.
+    pub sim_limit: Arc<Semaphore>,
+    /// Concurrency limit for sweep batches.
+    pub sweep_limit: Arc<Semaphore>,
+    /// Scale used when the query string does not name one.
+    pub default_scale: Scale,
+    /// How long a request waits for a concurrency permit before being
+    /// shed.
+    pub limit_wait: Duration,
+    /// `Retry-After` seconds on shed responses.
+    pub retry_after_secs: u64,
+}
+
+/// The route label used for fault sites and per-route metrics.
+pub fn route_name(request: &Request) -> &'static str {
+    let path = request.path.as_str();
+    match () {
+        _ if path == "/healthz" => "healthz",
+        _ if path == "/metrics" => "metrics",
+        _ if path.starts_with("/v1/profile/") => "profile",
+        _ if path.starts_with("/v1/table/") => "table",
+        _ if path.starts_with("/v1/figure/") => "figure",
+        _ if path == "/v1/sweep" => "sweep",
+        _ => "not_found",
+    }
+}
+
+/// Routes one request to its handler with response caching and panic
+/// isolation. Always returns a response — a panicking handler yields
+/// a 500.
+pub fn handle(request: &Request, ctx: &RouteContext) -> Response {
+    let route = route_name(request);
+    registry()
+        .counter(&format!("server_requests_{route}_total"))
+        .inc();
+
+    let key = request.canonical_key();
+    let cache_eligible = request.method == "GET" && request.path.starts_with("/v1/");
+    if cache_eligible {
+        if let Some(hit) = ctx.cache.get(&key) {
+            registry().counter("server_response_cache_hits_total").inc();
+            return hit;
+        }
+        registry().counter("server_response_cache_misses_total").inc();
+    }
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        leakage_faults::panic_point(&format!("server/handler/{route}"));
+        dispatch(request, ctx, route)
+    }));
+    let response = match outcome {
+        Ok(response) => response,
+        Err(_) => {
+            registry().counter("server_handler_panics_total").inc();
+            Response::error(500, "handler panicked; see server logs")
+        }
+    };
+    if ResponseCache::cacheable(request, &response) {
+        ctx.cache.put(&key, &response);
+    }
+    response
+}
+
+fn dispatch(request: &Request, ctx: &RouteContext, route: &str) -> Response {
+    match (request.method.as_str(), route) {
+        ("GET", "healthz") => healthz(),
+        ("GET", "metrics") => Response::text(200, prometheus_text()),
+        ("GET", "profile" | "table" | "figure") => {
+            // Validate the scale before burning a permit on a
+            // malformed query.
+            let scale = match parse_scale(request, ctx.default_scale) {
+                Ok(scale) => scale,
+                Err(response) => return response,
+            };
+            let Some(_permit) = ctx.sim_limit.acquire(ctx.limit_wait) else {
+                return shed(ctx, "simulation concurrency limit reached");
+            };
+            match route {
+                "profile" => profile(request, ctx, scale),
+                "table" => table(request, ctx, scale),
+                _ => figure(request, ctx, scale),
+            }
+        }
+        ("POST", "sweep") => {
+            let Some(_permit) = ctx.sweep_limit.acquire(ctx.limit_wait) else {
+                return shed(ctx, "sweep concurrency limit reached");
+            };
+            sweep(request, ctx)
+        }
+        (_, "not_found") => Response::error(404, &format!("no such route: {}", request.path)),
+        _ => Response::error(405, &format!("{} not allowed here", request.method)),
+    }
+}
+
+/// 503 + `Retry-After` — the shared shed/backpressure response.
+fn shed(ctx: &RouteContext, reason: &str) -> Response {
+    registry().counter("server_shed_total").inc();
+    Response::error(503, reason).with_header("Retry-After", ctx.retry_after_secs.to_string())
+}
+
+fn healthz() -> Response {
+    Response::json(
+        200,
+        json::object([
+            json::key("status") + &json::string("ok"),
+            json::key("suite") + &json::array(SUITE_NAMES.iter().map(|n| json::string(n))),
+        ]),
+    )
+}
+
+/// Parses `scale=` (preset name or cycle count) with the custom-cycle
+/// cap.
+fn parse_scale(request: &Request, default_scale: Scale) -> Result<Scale, Response> {
+    let Some(arg) = request.query_param("scale") else {
+        return Ok(default_scale);
+    };
+    match Scale::parse_arg(arg) {
+        Some(scale) if scale.cycles() <= MAX_CUSTOM_CYCLES => Ok(scale),
+        Some(_) => Err(Response::error(
+            400,
+            &format!("scale above the serving cap of {MAX_CUSTOM_CYCLES} cycles"),
+        )),
+        None => Err(Response::error(
+            400,
+            &format!("bad scale {arg:?}: expected test|small|paper or a cycle count"),
+        )),
+    }
+}
+
+fn num_u64(v: u64) -> String {
+    v.to_string()
+}
+
+fn num_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn side_json(profile: &CacheProfile) -> String {
+    json::object([
+        json::key("num_frames") + &num_u64(u64::from(profile.num_frames)),
+        json::key("total_cycles") + &num_u64(profile.total_cycles),
+        json::key("accesses") + &num_u64(profile.cache.accesses),
+        json::key("hits") + &num_u64(profile.cache.hits),
+        json::key("misses") + &num_u64(profile.cache.misses),
+        json::key("hit_rate") + &num_f64(profile.cache.hit_rate()),
+        json::key("interval_classes") + &num_u64(profile.dist.num_classes() as u64),
+        json::key("total_intervals") + &num_u64(profile.dist.total_intervals()),
+        json::key("interval_cycles") + &num_u64(profile.dist.total_cycles()),
+        json::key("covers_timeline")
+            + if profile.covers_timeline() { "true" } else { "false" },
+        json::key("next_line_triggers") + &num_u64(profile.prefetch.next_line_triggers),
+        json::key("stride_triggers") + &num_u64(profile.prefetch.stride_triggers),
+    ])
+}
+
+fn profile(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
+    let benchmark = request.path.trim_start_matches("/v1/profile/");
+    if benchmark.is_empty() || benchmark.contains('/') {
+        return Response::error(404, "expected /v1/profile/<benchmark>");
+    }
+    // The Alpha-like hierarchy is the only servable geometry; the
+    // parameter exists so clients state their assumption explicitly.
+    match request.query_param("hierarchy") {
+        None | Some("alpha") | Some("alpha-like") => {}
+        Some(other) => {
+            return Response::error(400, &format!("unknown hierarchy {other:?}: only \"alpha\""))
+        }
+    }
+    match ctx.store.try_fetch(benchmark, scale) {
+        Ok(profile) => Response::json(
+            200,
+            json::object([
+                json::key("benchmark") + &json::string(&profile.name),
+                json::key("scale_cycles") + &num_u64(scale.cycles()),
+                json::key("hierarchy") + &json::string("alpha"),
+                json::key("icache") + &side_json(&profile.icache),
+                json::key("dcache") + &side_json(&profile.dcache),
+            ]),
+        ),
+        Err(err) => store_error_response(&err),
+    }
+}
+
+fn store_error_response(err: &StoreError) -> Response {
+    match err {
+        StoreError::UnknownBenchmark { .. } => Response::error(404, &err.to_string()),
+        _ => Response::error(500, &err.to_string()),
+    }
+}
+
+fn query_error_response(err: &QueryError) -> Response {
+    match err {
+        QueryError::UnknownArtifact { .. } => Response::error(404, &err.to_string()),
+        QueryError::Store(store) => store_error_response(store),
+        QueryError::Degraded { .. } => Response::error(503, &err.to_string()),
+    }
+}
+
+/// `format=` negotiation: canonical JSON by default, CSV on request.
+fn artifact_format(request: &Request) -> Result<&str, Response> {
+    match request.query_param("format") {
+        None => Ok("json"),
+        Some(fmt @ ("json" | "csv")) => Ok(fmt),
+        Some(other) => Err(Response::error(
+            400,
+            &format!("bad format {other:?}: expected json or csv"),
+        )),
+    }
+}
+
+fn parse_artifact_id(request: &Request, prefix: &str) -> Result<u8, Response> {
+    request
+        .path
+        .strip_prefix(prefix)
+        .and_then(|raw| raw.parse::<u8>().ok())
+        .ok_or_else(|| Response::error(404, &format!("expected {prefix}<number>")))
+}
+
+fn table(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
+    let id = match parse_artifact_id(request, "/v1/table/") {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    let format = match artifact_format(request) {
+        Ok(format) => format,
+        Err(response) => return response,
+    };
+    match query::table(ctx.store, id, scale) {
+        Ok(table) if format == "csv" => Response::csv(table.to_csv()),
+        Ok(table) => Response::json(200, table.to_json()),
+        Err(err) => query_error_response(&err),
+    }
+}
+
+fn figure_json(id: u8, scale: Scale, icache: &Table, dcache: &Table) -> String {
+    json::object([
+        json::key("figure") + &num_u64(u64::from(id)),
+        json::key("scale_cycles") + &num_u64(scale.cycles()),
+        json::key("icache") + &icache.to_json(),
+        json::key("dcache") + &dcache.to_json(),
+    ])
+}
+
+fn figure(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
+    let id = match parse_artifact_id(request, "/v1/figure/") {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    let format = match artifact_format(request) {
+        Ok(format) => format,
+        Err(response) => return response,
+    };
+    match query::figure(ctx.store, id, scale) {
+        Ok((icache, dcache)) if format == "csv" => {
+            Response::csv(format!("{}\n{}", icache.to_csv(), dcache.to_csv()))
+        }
+        Ok((icache, dcache)) => Response::json(200, figure_json(id, scale, &icache, &dcache)),
+        Err(err) => query_error_response(&err),
+    }
+}
+
+/// One validated sweep request: a scale plus Fig. 6 model points.
+struct SweepRequest {
+    scale: Scale,
+    points: Vec<SweepPoint>,
+}
+
+fn parse_sweep_body(request: &Request, ctx: &RouteContext) -> Result<SweepRequest, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "sweep body is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|err| Response::error(400, &err.to_string()))?;
+    let scale = match doc.get("scale").and_then(Json::as_str) {
+        None => ctx.default_scale,
+        Some(arg) => match Scale::parse_arg(arg) {
+            Some(scale) if scale.cycles() <= MAX_CUSTOM_CYCLES => scale,
+            _ => return Err(Response::error(400, &format!("bad sweep scale {arg:?}"))),
+        },
+    };
+    let raw_points = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or_else(|| Response::error(400, "sweep body needs a \"points\" array"))?;
+    if raw_points.is_empty() {
+        return Err(Response::error(400, "sweep needs at least one point"));
+    }
+    if raw_points.len() > MAX_SWEEP_POINTS {
+        return Err(Response::error(
+            413,
+            &format!("sweep capped at {MAX_SWEEP_POINTS} points"),
+        ));
+    }
+    let mut points = Vec::with_capacity(raw_points.len());
+    for (index, raw) in raw_points.iter().enumerate() {
+        let field = |name: &str| raw.get(name).and_then(Json::as_str);
+        let bad = |what: &str| Response::error(400, &format!("point {index}: {what}"));
+        let benchmark = field("benchmark").ok_or_else(|| bad("missing \"benchmark\""))?;
+        if !SUITE_NAMES.contains(&benchmark) {
+            return Err(bad(&format!("unknown benchmark {benchmark:?}")));
+        }
+        let side = field("side")
+            .and_then(query::parse_side)
+            .ok_or_else(|| bad("bad \"side\": expected icache|dcache"))?;
+        let node = field("node")
+            .and_then(query::parse_node)
+            .ok_or_else(|| bad("bad \"node\": expected 70nm|100nm|130nm|180nm"))?;
+        points.push(SweepPoint {
+            benchmark: benchmark.to_string(),
+            side,
+            node,
+        });
+    }
+    Ok(SweepRequest { scale, points })
+}
+
+fn side_token(side: Level1) -> &'static str {
+    match side {
+        Level1::Instruction => "icache",
+        Level1::Data => "dcache",
+    }
+}
+
+fn sweep(request: &Request, ctx: &RouteContext) -> Response {
+    let SweepRequest { scale, points } = match parse_sweep_body(request, ctx) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    // All points validated; fan the batch out over the rayon pool.
+    // Each point hits the memoized store, so the per-benchmark
+    // simulation cost is paid at most once across the whole batch.
+    let results: Vec<Result<String, QueryError>> = points
+        .par_iter()
+        .map(|point| {
+            let savings = query::sweep_point(ctx.store, scale, point)?;
+            Ok(json::object([
+                json::key("benchmark") + &json::string(&point.benchmark),
+                json::key("side") + &json::string(side_token(point.side)),
+                json::key("node") + &json::string(&point.node.to_string()),
+                json::key("opt_drowsy") + &num_f64(savings.opt_drowsy),
+                json::key("opt_sleep") + &num_f64(savings.opt_sleep),
+                json::key("opt_hybrid") + &num_f64(savings.opt_hybrid),
+            ]))
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(results.len());
+    for result in results {
+        match result {
+            Ok(row) => rows.push(row),
+            Err(err) => return query_error_response(&err),
+        }
+    }
+    Response::json(
+        200,
+        json::object([
+            json::key("scale_cycles") + &num_u64(scale.cycles()),
+            json::key("results") + &json::array(rows),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> RouteContext {
+        RouteContext {
+            store: ProfileStore::global(),
+            cache: Arc::new(ResponseCache::new(16)),
+            sim_limit: Arc::new(Semaphore::new(4)),
+            sweep_limit: Arc::new(Semaphore::new(2)),
+            default_scale: Scale::Test,
+            limit_wait: Duration::from_millis(200),
+            retry_after_secs: 1,
+        }
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn routes_resolve_names() {
+        assert_eq!(route_name(&get("/healthz", &[])), "healthz");
+        assert_eq!(route_name(&get("/metrics", &[])), "metrics");
+        assert_eq!(route_name(&get("/v1/profile/gzip", &[])), "profile");
+        assert_eq!(route_name(&get("/v1/table/2", &[])), "table");
+        assert_eq!(route_name(&get("/v1/figure/8", &[])), "figure");
+        assert_eq!(route_name(&get("/v1/sweep", &[])), "sweep");
+        assert_eq!(route_name(&get("/nope", &[])), "not_found");
+    }
+
+    #[test]
+    fn healthz_and_errors() {
+        let ctx = ctx();
+        let ok = handle(&get("/healthz", &[]), &ctx);
+        assert_eq!(ok.status, 200);
+        assert!(String::from_utf8_lossy(&ok.body).contains("\"ok\""));
+        assert_eq!(handle(&get("/nope", &[]), &ctx).status, 404);
+        let mut post = get("/healthz", &[]);
+        post.method = "POST".into();
+        assert_eq!(handle(&post, &ctx).status, 405);
+    }
+
+    #[test]
+    fn table_served_json_matches_batch_generator() {
+        let ctx = ctx();
+        let response = handle(&get("/v1/table/2", &[("scale", "test")]), &ctx);
+        assert_eq!(response.status, 200);
+        let served = Table::from_json(&String::from_utf8(response.body).unwrap()).unwrap();
+        let batch = query::table(ctx.store, 2, Scale::Test).unwrap();
+        assert_eq!(served, batch);
+    }
+
+    #[test]
+    fn table_csv_and_bad_queries() {
+        let ctx = ctx();
+        let csv = handle(&get("/v1/table/1", &[("format", "csv")]), &ctx);
+        assert_eq!(csv.status, 200);
+        assert_eq!(csv.content_type, "text/csv");
+        assert_eq!(handle(&get("/v1/table/9", &[]), &ctx).status, 404);
+        assert_eq!(
+            handle(&get("/v1/table/1", &[("format", "xml")]), &ctx).status,
+            400
+        );
+        assert_eq!(
+            handle(&get("/v1/table/1", &[("scale", "huge")]), &ctx).status,
+            400
+        );
+        assert_eq!(
+            handle(
+                &get("/v1/table/1", &[("scale", "99999999999")]),
+                &ctx
+            )
+            .status,
+            400,
+            "custom scales above the cap are rejected"
+        );
+    }
+
+    #[test]
+    fn profile_route_serves_summary() {
+        let ctx = ctx();
+        let ok = handle(&get("/v1/profile/gzip", &[("scale", "test")]), &ctx);
+        assert_eq!(ok.status, 200);
+        let doc = json::parse(&String::from_utf8(ok.body).unwrap()).unwrap();
+        assert_eq!(doc.get("benchmark").and_then(Json::as_str), Some("gzip"));
+        assert_eq!(
+            doc.get("scale_cycles").and_then(Json::as_f64),
+            Some(200_000.0)
+        );
+        assert_eq!(
+            doc.get("icache")
+                .and_then(|side| side.get("covers_timeline")),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(handle(&get("/v1/profile/perlbmk", &[]), &ctx).status, 404);
+        assert_eq!(
+            handle(&get("/v1/profile/gzip", &[("hierarchy", "mips")]), &ctx).status,
+            400
+        );
+    }
+
+    #[test]
+    fn sweep_validates_then_evaluates() {
+        let ctx = ctx();
+        let body = r#"{"scale": "test", "points": [
+            {"benchmark": "gzip", "side": "icache", "node": "70nm"},
+            {"benchmark": "mesa", "side": "dcache", "node": "130nm"}
+        ]}"#;
+        let request = Request {
+            method: "POST".into(),
+            path: "/v1/sweep".into(),
+            query: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+        let response = handle(&request, &ctx);
+        assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+        let doc = json::parse(&String::from_utf8(response.body).unwrap()).unwrap();
+        let results = doc.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        let first = &results[0];
+        assert_eq!(first.get("benchmark").and_then(Json::as_str), Some("gzip"));
+        let drowsy = first.get("opt_drowsy").and_then(Json::as_f64).unwrap();
+        assert!(drowsy.is_finite() && drowsy > 0.0);
+
+        // Validation failures reject the whole batch before compute.
+        for bad in [
+            r#"{"points": []}"#,
+            r#"{"points": [{"benchmark": "nope", "side": "icache", "node": "70nm"}]}"#,
+            r#"{"points": [{"benchmark": "gzip", "side": "l2", "node": "70nm"}]}"#,
+            r#"{"points": [{"benchmark": "gzip", "side": "icache", "node": "90nm"}]}"#,
+            "not json",
+        ] {
+            let mut request = request.clone();
+            request.body = bad.as_bytes().to_vec();
+            let status = handle(&request, &ctx).status;
+            assert_eq!(status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_second_read() {
+        let ctx = ctx();
+        let request = get("/v1/table/1", &[]);
+        assert_eq!(handle(&request, &ctx).status, 200);
+        assert_eq!(ctx.cache.len(), 1);
+        // Second read is a cache hit: same bytes, still one entry.
+        let again = handle(&request, &ctx);
+        assert_eq!(again.status, 200);
+        assert_eq!(ctx.cache.len(), 1);
+    }
+
+    #[test]
+    fn armed_handler_panic_becomes_500() {
+        let ctx = ctx();
+        // The figure handler is touched by no other unit test in this
+        // crate, so arming its site cannot perturb parallel tests.
+        let previous = leakage_faults::set_plane(
+            leakage_faults::Plane::parse("server/handler/figure=panic").unwrap(),
+        );
+        let response = handle(&get("/v1/figure/7", &[]), &ctx);
+        let plane = std::sync::Arc::try_unwrap(previous).unwrap_or_default();
+        leakage_faults::set_plane(plane);
+        assert_eq!(response.status, 500);
+        assert!(String::from_utf8_lossy(&response.body).contains("panicked"));
+        assert!(ctx.cache.is_empty(), "500s are never cached");
+        // With the plane restored, the same route serves normally.
+        assert_eq!(handle(&get("/v1/figure/7", &[]), &ctx).status, 200);
+    }
+}

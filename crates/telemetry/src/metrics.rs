@@ -59,6 +59,30 @@ impl Gauge {
         self.value.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Adds `n` — for level-tracking gauges (in-flight requests, queue
+    /// depths) that move both ways.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (a racy decrement below zero
+    /// clamps rather than wrapping to 2^64).
+    pub fn sub(&self, n: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -285,6 +309,12 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.set_max(9);
         assert_eq!(g.get(), 9);
+        g.add(2);
+        assert_eq!(g.get(), 11);
+        g.sub(5);
+        assert_eq!(g.get(), 6);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
     }
 
     #[test]

@@ -47,6 +47,18 @@ impl Scale {
             Scale::Custom(cycles) => cycles,
         }
     }
+
+    /// Parses a scale argument as the `repro` CLI and the analysis
+    /// server accept it: a preset name (`test` | `small` | `paper`) or
+    /// a raw cycle count. `None` for anything else.
+    pub fn parse_arg(arg: &str) -> Option<Scale> {
+        match arg {
+            "test" => Some(Scale::Test),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            number => number.parse::<u64>().ok().map(Scale::Custom),
+        }
+    }
 }
 
 
@@ -689,6 +701,16 @@ mod tests {
     }
 
     #[test]
+    fn scale_arguments_parse() {
+        assert_eq!(Scale::parse_arg("test"), Some(Scale::Test));
+        assert_eq!(Scale::parse_arg("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse_arg("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse_arg("123456"), Some(Scale::Custom(123_456)));
+        assert_eq!(Scale::parse_arg("huge"), None);
+        assert_eq!(Scale::parse_arg(""), None);
+    }
+
+    #[test]
     fn benchmarks_differ_from_each_other() {
         let mut a = VecTrace::new();
         let mut b = VecTrace::new();
@@ -703,7 +725,12 @@ mod tests {
             let name = bench.name();
             let mut trace = VecTrace::new();
             bench.run(&mut trace);
-            let last = trace.stats().last_cycle.unwrap().raw();
+            // An empty trace means the generator emitted nothing at
+            // all — report that explicitly instead of unwrapping.
+            let Some(last) = trace.stats().last_cycle else {
+                panic!("{name}: benchmark produced an empty trace");
+            };
+            let last = last.raw();
             let budget = Scale::Test.cycles();
             assert!(
                 last >= budget - 10 && last < budget + 2_000,

@@ -338,7 +338,12 @@ mod tests {
     fn executor_hits_cycle_budget() {
         let mut trace = VecTrace::new();
         Executor::new(tiny_spec(), 5_000).run(&mut trace);
-        let last = trace.stats().last_cycle.unwrap().raw();
+        // An empty trace means the executor emitted nothing at all —
+        // report that explicitly instead of unwrapping.
+        let Some(last) = trace.stats().last_cycle else {
+            panic!("executor produced an empty trace");
+        };
+        let last = last.raw();
         assert!((4_990..=5_100).contains(&last), "last cycle {last}");
         // Roughly half the cycles carry a data op.
         let data = trace.stats().data_accesses() as f64;

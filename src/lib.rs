@@ -22,6 +22,10 @@
 //! * [`experiments`] — the harness regenerating every table and figure.
 //! * [`faults`] — typed errors, deterministic fault injection
 //!   (`LEAKAGE_FAULTS`), and retry helpers.
+//! * [`telemetry`] — the metrics registry, span tracing, and the
+//!   canonical JSON codec.
+//! * [`server`] — the dependency-free HTTP analysis service and its
+//!   closed-loop load generator.
 //!
 //! # Quickstart
 //!
@@ -45,5 +49,7 @@ pub use leakage_faults as faults;
 pub use leakage_intervals as intervals;
 pub use leakage_online as online;
 pub use leakage_prefetch as prefetch;
+pub use leakage_server as server;
+pub use leakage_telemetry as telemetry;
 pub use leakage_trace as trace;
 pub use leakage_workloads as workloads;
