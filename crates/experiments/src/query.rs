@@ -137,8 +137,15 @@ pub fn sweep_point(
     point: &SweepPoint,
 ) -> Result<OptimalSavings, QueryError> {
     let profile = store.try_fetch(&point.benchmark, scale)?;
+    Ok(sweep_point_profile(&profile, point))
+}
+
+/// Evaluates one sweep point against an already-fetched profile —
+/// the store-free half of [`sweep_point`], for callers that front the
+/// store with their own cache (the HTTP server's sharded store front).
+pub fn sweep_point_profile(profile: &BenchmarkProfile, point: &SweepPoint) -> OptimalSavings {
     let model = GeneralizedModel::from_params(CircuitParams::for_node(point.node));
-    Ok(model.optimal_savings(&profile.side(point.side).dist))
+    model.optimal_savings(&profile.side(point.side).dist)
 }
 
 /// Parses a cache-side query token (`icache`/`i` or `dcache`/`d`).

@@ -1,0 +1,131 @@
+//! Pre-serialized artifact catalog: the finite default-scale artifact
+//! space (`/v1/table/{1,2,3}` and `/v1/figure/{7,8,9}` × json/csv),
+//! plus the constant `/healthz` and `/v1/version` bodies, held as
+//! [`WireResponse`]s that are **never evicted**.
+//!
+//! The LRU response cache already avoids recomputation, but a hit
+//! still pays a shard lock and recency-list update. Catalog entries
+//! are immutable once inserted, so lookups take a read lock only —
+//! the absolute hot path (a loadgen hammering `/v1/table/2` at the
+//! default scale) serves each response as two `Arc` bumps plus one
+//! vectored write's worth of `memcpy`.
+//!
+//! The catalog is a dumb byte store: [`crate::routes`] decides
+//! eligibility keys, fills entries through the **same** handler path
+//! the batch pipeline exercises (so bytes stay identical), and the
+//! server warms it in a background thread at startup. Disabling
+//! pre-serialization (`--no-preserialize`) turns every lookup into a
+//! miss, which is how the bench trajectory isolates this step's
+//! contribution.
+
+use crate::http::WireResponse;
+use leakage_workloads::Scale;
+use std::collections::HashMap;
+use std::sync::{PoisonError, RwLock};
+
+/// The catalog: canonical request key → immutable pre-serialized
+/// response.
+pub struct ArtifactCatalog {
+    enabled: bool,
+    default_scale: Scale,
+    entries: RwLock<HashMap<String, WireResponse>>,
+}
+
+impl ArtifactCatalog {
+    /// An empty catalog. With `enabled == false` every lookup misses
+    /// and inserts are dropped, so the serving path degrades to the
+    /// plain cache — the bench trajectory's "pre-serialization off"
+    /// configuration.
+    pub fn new(enabled: bool, default_scale: Scale) -> Self {
+        ArtifactCatalog {
+            enabled,
+            default_scale,
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Whether pre-serialization is on at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The scale catalog entries are pinned to.
+    pub fn default_scale(&self) -> Scale {
+        self.default_scale
+    }
+
+    /// Looks up a pre-serialized response. Read lock only; no recency
+    /// bookkeeping.
+    pub fn get(&self, key: &str) -> Option<WireResponse> {
+        if !self.enabled {
+            return None;
+        }
+        self.entries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    /// Publishes an entry (first insert wins — entries are immutable,
+    /// and the first and any concurrent compute produced identical
+    /// bytes by construction).
+    pub fn insert(&self, key: &str, value: WireResponse) {
+        if !self.enabled {
+            return;
+        }
+        self.entries
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key.to_string())
+            .or_insert(value);
+    }
+
+    /// Number of pre-serialized entries.
+    pub fn len(&self) -> usize {
+        self.entries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been pre-serialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Response;
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let catalog = ArtifactCatalog::new(true, Scale::Test);
+        assert!(catalog.get("GET /v1/table/1?").is_none());
+        catalog.insert(
+            "GET /v1/table/1?",
+            Response::json(200, "{}".to_string()).into_wire(),
+        );
+        let hit = catalog.get("GET /v1/table/1?").expect("catalog hit");
+        assert_eq!(hit.status(), 200);
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let catalog = ArtifactCatalog::new(true, Scale::Test);
+        catalog.insert("k", Response::json(200, "first".to_string()).into_wire());
+        catalog.insert("k", Response::json(200, "second".to_string()).into_wire());
+        assert_eq!(catalog.get("k").unwrap().body(), b"first");
+    }
+
+    #[test]
+    fn disabled_catalog_is_inert() {
+        let catalog = ArtifactCatalog::new(false, Scale::Test);
+        catalog.insert("k", Response::json(200, "{}".to_string()).into_wire());
+        assert!(catalog.get("k").is_none());
+        assert!(catalog.is_empty());
+    }
+}

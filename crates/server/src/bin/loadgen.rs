@@ -8,7 +8,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--connections N] [--seconds S]\n\
-         \x20             [--timeout-ms MS] [--mix PATH:WEIGHT,PATH:WEIGHT,...]"
+         \x20             [--timeout-ms MS] [--mix PATH:WEIGHT,PATH:WEIGHT,...]\n\
+         \x20             [--pipeline N] [--close]"
     );
     std::process::exit(2);
 }
@@ -44,6 +45,8 @@ fn main() {
                     Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
             }
             "--mix" => config.mix = parse_mix(&value()).unwrap_or_else(|| usage()),
+            "--pipeline" => config.pipeline = value().parse().unwrap_or_else(|_| usage()),
+            "--close" => config.keep_alive = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -1,0 +1,115 @@
+//! Per-connection state shared by the reactor and threaded
+//! transports: the input buffer requests are parsed out of, the
+//! output buffer pipelined responses are batched into, and the
+//! keep-alive bookkeeping (requests served, close fate, idle clock).
+
+use crate::http::{parse_request, BadRequest, Parse, Request};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// What [`Connection::take_request`] produced.
+pub enum Taken {
+    /// A complete request, ready for a handler.
+    Request(Request),
+    /// A malformed request; answer it. `recoverable: false` means the
+    /// connection's framing is lost and it must close after the
+    /// error.
+    Bad {
+        /// Status and reason to answer.
+        bad: BadRequest,
+        /// Whether the connection can keep serving afterwards.
+        recoverable: bool,
+    },
+    /// No complete request buffered; read more bytes.
+    NeedMore,
+}
+
+/// One client connection moving between the transport (readiness or
+/// blocking reads) and the worker pool (parse → handle → write).
+pub struct Connection {
+    /// The socket. Nonblocking under the reactor; blocking under the
+    /// threaded transport.
+    pub stream: TcpStream,
+    /// Bytes read but not yet parsed (may hold several pipelined
+    /// requests).
+    pub buf: Vec<u8>,
+    /// Serialized responses awaiting a write.
+    pub out: Vec<u8>,
+    /// Requests answered on this connection.
+    pub served: u32,
+    /// Reactor slab token (unused by the threaded transport).
+    pub token: u64,
+    /// Last read/write activity, for idle-timeout sweeps.
+    pub last_activity: Instant,
+    /// Close after the pending output is flushed (client asked, the
+    /// per-connection request budget ran out, the peer half-closed,
+    /// or the server is draining).
+    pub close: bool,
+    /// The peer closed its write half; no further requests can
+    /// arrive, but buffered ones are still served.
+    pub eof: bool,
+}
+
+impl Connection {
+    /// Wraps an accepted stream.
+    pub fn new(stream: TcpStream, token: u64) -> Self {
+        Connection {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            served: 0,
+            token,
+            last_activity: Instant::now(),
+            close: false,
+            eof: false,
+        }
+    }
+
+    /// Parses the next request off the input buffer, consuming its
+    /// bytes and enforcing the per-connection request budget
+    /// (`max_requests`, 0 = unlimited): the budget-exhausting request
+    /// is still served, with `Connection: close` on its response.
+    pub fn take_request(&mut self, max_requests: u32) -> Taken {
+        match parse_request(&self.buf) {
+            Parse::Complete { request, used } => {
+                self.buf.drain(..used);
+                self.served += 1;
+                if max_requests != 0 && self.served >= max_requests {
+                    self.close = true;
+                }
+                if request.close {
+                    self.close = true;
+                }
+                Taken::Request(request)
+            }
+            Parse::Bad { bad, used } => {
+                let recoverable = match used {
+                    Some(n) => {
+                        self.buf.drain(..n);
+                        true
+                    }
+                    None => {
+                        self.close = true;
+                        false
+                    }
+                };
+                Taken::Bad { bad, recoverable }
+            }
+            Parse::Partial => {
+                if self.eof {
+                    // Half-closed peer with a dangling partial
+                    // request: nothing more can complete it.
+                    self.close = true;
+                }
+                Taken::NeedMore
+            }
+        }
+    }
+
+    /// Whether the input buffer already starts with a complete (or
+    /// decidedly bad) request — i.e. whether a worker should keep
+    /// going without returning to the transport.
+    pub fn has_buffered_request(&self) -> bool {
+        !matches!(parse_request(&self.buf), Parse::Partial)
+    }
+}

@@ -1,15 +1,19 @@
-//! A minimal HTTP/1.1 protocol layer over `std::net` — request
-//! parsing, response writing, and a tiny blocking client (used by the
-//! load generator and the integration tests).
+//! A minimal HTTP/1.1 protocol layer — incremental request parsing
+//! over byte buffers (shared by the epoll reactor, the threaded
+//! transport, and the tests), pre-serializable responses, and a small
+//! blocking client with keep-alive support (used by the load
+//! generator and the integration tests).
 //!
-//! Scope is deliberately narrow: one request per connection
-//! (`Connection: close`), `Content-Length` bodies only (no chunked
-//! encoding), ASCII request targets with percent-escapes. That subset
-//! is everything the analysis service needs, and keeping it small is
+//! Scope is deliberately narrow: `Content-Length` bodies only (no
+//! chunked encoding), ASCII request targets with percent-escapes.
+//! Persistent connections are the default (HTTP/1.1 keep-alive);
+//! `Connection: close` and HTTP/1.0 are honored. That subset is
+//! everything the analysis service needs, and keeping it small is
 //! what lets the crate stay dependency-free.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Maximum size of the request line plus headers.
@@ -31,9 +35,24 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client asked for the connection to close after
+    /// this exchange (`Connection: close`, or HTTP/1.0 without
+    /// `Connection: keep-alive`).
+    pub close: bool,
 }
 
 impl Request {
+    /// A GET request to `path` with no query or body (test helper).
+    pub fn get(path: &str) -> Self {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            body: Vec::new(),
+            close: false,
+        }
+    }
+
     /// The first value of query parameter `name`, if present.
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query
@@ -72,7 +91,176 @@ impl BadRequest {
     }
 }
 
-/// Reads and parses one request from `stream`.
+/// The outcome of one incremental parse attempt over a connection's
+/// input buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// A full request; `used` bytes of the buffer belong to it
+    /// (pipelined successors may follow).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes consumed from the front of the buffer.
+        used: usize,
+    },
+    /// The buffer holds a prefix of a request; read more bytes.
+    Partial,
+    /// A malformed request. `used: Some(n)` means the request's
+    /// framing is known — answer the error, drop `n` bytes, and the
+    /// connection may continue; `None` means framing was lost (e.g.
+    /// an oversized or truncated header block) and the connection
+    /// must close after the error is written.
+    Bad {
+        /// Status and reason to answer with.
+        bad: BadRequest,
+        /// Bytes to consume if the connection can survive.
+        used: Option<usize>,
+    },
+}
+
+/// Finds the end of the header block: the index just past the first
+/// `\r\n\r\n` or `\n\n`.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
+                return Some(i + 2);
+            }
+            if buf[i..].starts_with(b"\n\r\n") {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// This is the single parser behind every transport: the reactor
+/// calls it after each readiness-driven read, the threaded transport
+/// after each blocking read, and workers call it to peel pipelined
+/// successors off an already-filled buffer.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let Some(head_end) = find_header_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Bad {
+                bad: BadRequest::new(431, "request headers too large"),
+                used: None,
+            };
+        }
+        return Parse::Partial;
+    };
+    if head_end > MAX_HEADER_BYTES {
+        return Parse::Bad {
+            bad: BadRequest::new(431, "request headers too large"),
+            used: None,
+        };
+    }
+
+    let text = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = text.lines();
+    let request_line = match lines.next() {
+        Some(line) if !line.trim().is_empty() => line,
+        // The header block is complete, so framing is known even
+        // though the request line is junk.
+        _ => {
+            return Parse::Bad {
+                bad: BadRequest::new(400, "empty request line"),
+                used: Some(head_end),
+            }
+        }
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(method), Some(target)) => (method.to_ascii_uppercase(), target),
+        _ => {
+            return Parse::Bad {
+                bad: BadRequest::new(400, "malformed request line"),
+                used: Some(head_end),
+            }
+        }
+    };
+    let http10 = parts.next() == Some("HTTP/1.0");
+
+    let mut content_length = 0usize;
+    let mut close = http10;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                // Framing depends on the unparseable length: close.
+                Err(_) => {
+                    return Parse::Bad {
+                        bad: BadRequest::new(400, "bad Content-Length"),
+                        used: None,
+                    }
+                }
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        // Refuse to buffer an oversized body just to resync; close.
+        return Parse::Bad {
+            bad: BadRequest::new(413, "request body too large"),
+            used: None,
+        };
+    }
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Parse::Partial;
+    }
+    let recoverable = |bad: BadRequest| Parse::Bad {
+        bad,
+        used: Some(total),
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    let Some(path) = percent_decode(raw_path) else {
+        return recoverable(BadRequest::new(400, "bad percent-escape in path"));
+    };
+    if !path.starts_with('/') {
+        return recoverable(BadRequest::new(400, "request target must be absolute"));
+    }
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match (percent_decode(k), percent_decode(v)) {
+            (Some(k), Some(v)) => query.push((k, v)),
+            _ => return recoverable(BadRequest::new(400, "bad percent-escape in query")),
+        }
+    }
+
+    Parse::Complete {
+        request: Request {
+            method,
+            path,
+            query,
+            body: buf[head_end..total].to_vec(),
+            close,
+        },
+        used: total,
+    }
+}
+
+/// Reads and parses one request from `stream` (blocking convenience
+/// wrapper over [`parse_request`], used for one-shot contexts like
+/// the shed path and tests).
 ///
 /// # Errors
 ///
@@ -80,87 +268,27 @@ impl BadRequest {
 /// a 4xx; `Err(_)` for transport failures (timeout, reset) where no
 /// answer can be delivered.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, BadRequest>> {
-    let mut reader = BufReader::new(stream);
-    let mut header = Vec::new();
-    // Read byte-wise up to the blank line; bounded by MAX_HEADER_BYTES.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
     loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte)? {
+        match parse_request(&buf) {
+            Parse::Complete { request, .. } => return Ok(Ok(request)),
+            Parse::Bad { bad, .. } => return Ok(Err(bad)),
+            Parse::Partial => {}
+        }
+        match stream.read(&mut chunk)? {
             0 => {
-                if header.is_empty() {
+                if buf.is_empty() {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "connection closed before request",
                     ));
                 }
-                break;
+                return Ok(Err(BadRequest::new(400, "truncated request")));
             }
-            _ => header.push(byte[0]),
-        }
-        if header.ends_with(b"\r\n\r\n") || header.ends_with(b"\n\n") {
-            break;
-        }
-        if header.len() > MAX_HEADER_BYTES {
-            return Ok(Err(BadRequest::new(431, "request headers too large")));
+            n => buf.extend_from_slice(&chunk[..n]),
         }
     }
-    let text = String::from_utf8_lossy(&header);
-    let mut lines = text.lines();
-    let request_line = match lines.next() {
-        Some(line) if !line.trim().is_empty() => line,
-        _ => return Ok(Err(BadRequest::new(400, "empty request line"))),
-    };
-    let mut parts = request_line.split_whitespace();
-    let (method, target) = match (parts.next(), parts.next()) {
-        (Some(method), Some(target)) => (method.to_ascii_uppercase(), target),
-        _ => return Ok(Err(BadRequest::new(400, "malformed request line"))),
-    };
-
-    let mut content_length = 0usize;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            match value.trim().parse::<usize>() {
-                Ok(n) => content_length = n,
-                Err(_) => return Ok(Err(BadRequest::new(400, "bad Content-Length"))),
-            }
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Ok(Err(BadRequest::new(413, "request body too large")));
-    }
-
-    let (raw_path, raw_query) = match target.split_once('?') {
-        Some((path, query)) => (path, query),
-        None => (target, ""),
-    };
-    let Some(path) = percent_decode(raw_path) else {
-        return Ok(Err(BadRequest::new(400, "bad percent-escape in path")));
-    };
-    if !path.starts_with('/') {
-        return Ok(Err(BadRequest::new(400, "request target must be absolute")));
-    }
-    let mut query = Vec::new();
-    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
-        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        match (percent_decode(k), percent_decode(v)) {
-            (Some(k), Some(v)) => query.push((k, v)),
-            _ => return Ok(Err(BadRequest::new(400, "bad percent-escape in query"))),
-        }
-    }
-
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body)?;
-    }
-    Ok(Ok(Request {
-        method,
-        path,
-        query,
-        body,
-    }))
 }
 
 /// Decodes `%XX` escapes and `+`-as-space. `None` on truncated or
@@ -249,15 +377,13 @@ impl Response {
         self
     }
 
-    /// Serializes the response (HTTP/1.1, `Connection: close`,
-    /// explicit `Content-Length`).
-    ///
-    /// # Errors
-    ///
-    /// Transport errors from the underlying stream.
-    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+    /// Pre-serializes into a [`WireResponse`]: the head is rendered
+    /// once, the body moves behind an `Arc`, and every later send is
+    /// two `memcpy`s — this is the representation the response cache
+    /// and the artifact catalog hold.
+    pub fn into_wire(self) -> WireResponse {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
@@ -269,10 +395,71 @@ impl Response {
             head.push_str(value);
             head.push_str("\r\n");
         }
-        head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        WireResponse {
+            status: self.status,
+            head: Arc::from(head.as_str()),
+            body: Arc::from(self.body.into_boxed_slice()),
+        }
+    }
+
+    /// Serializes the response (HTTP/1.1, `Connection: close`,
+    /// explicit `Content-Length`) — the one-shot path.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the underlying stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        self.clone().into_wire().serialize_into(&mut out, false);
+        stream.write_all(&out)?;
         stream.flush()
+    }
+}
+
+/// A pre-serialized response: rendered head (everything but the
+/// `Connection` header) plus `Arc`-shared body bytes. Cloning is two
+/// reference-count bumps, so cache hits and pre-built artifacts are
+/// served without copying or re-rendering anything.
+#[derive(Debug, Clone)]
+pub struct WireResponse {
+    status: u16,
+    /// Status line + headers, each line `\r\n`-terminated; the
+    /// `Connection` header and blank line are appended per send.
+    head: Arc<str>,
+    body: Arc<[u8]>,
+}
+
+impl WireResponse {
+    /// HTTP status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Appends the full serialized response to `out`, choosing the
+    /// `Connection` header per the connection's fate. Workers batch
+    /// pipelined responses into one buffer this way and issue a
+    /// single write.
+    pub fn serialize_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        out.reserve(self.head.len() + 32 + self.body.len());
+        out.extend_from_slice(self.head.as_bytes());
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n\r\n" as &[u8]
+        } else {
+            b"Connection: close\r\n\r\n"
+        });
+        out.extend_from_slice(&self.body);
+    }
+
+    /// The full serialized response as fresh bytes.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.serialize_into(&mut out, keep_alive);
+        out
     }
 }
 
@@ -318,8 +505,173 @@ impl ClientResponse {
     }
 }
 
-/// One blocking request over a fresh connection (the server is
-/// `Connection: close`, so connection-per-request is the protocol).
+/// Incrementally parses one response from the front of `buf`:
+/// `Some((response, used))` when complete, `None` when more bytes are
+/// needed. Requires `Content-Length` framing (which this server
+/// always provides).
+///
+/// # Errors
+///
+/// `InvalidData` on a malformed status line.
+pub fn parse_response(buf: &[u8]) -> io::Result<Option<(ClientResponse, usize)>> {
+    let Some(head_end) = find_header_end(buf) else {
+        return Ok(None);
+    };
+    let text = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = text.lines();
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+            headers.push((name, value));
+        }
+    }
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        ClientResponse {
+            status,
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// A persistent keep-alive HTTP client over one connection: requests
+/// are written without `Connection: close`, responses parsed by
+/// `Content-Length`, so the connection is reused — and multiple
+/// requests may be pipelined before the first response is read.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to connect, reads, and writes.
+    ///
+    /// # Errors
+    ///
+    /// Connect/configure failures.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            addr,
+        })
+    }
+
+    /// The underlying stream (tests shut down halves directly).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Renders one keep-alive request into `out` (no I/O).
+    pub fn render_request(&self, out: &mut Vec<u8>, method: &str, target: &str, body: &[u8]) {
+        out.extend_from_slice(method.as_bytes());
+        out.extend_from_slice(b" ");
+        out.extend_from_slice(target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\nHost: ");
+        out.extend_from_slice(self.addr.to_string().as_bytes());
+        out.extend_from_slice(b"\r\nContent-Length: ");
+        out.extend_from_slice(body.len().to_string().as_bytes());
+        out.extend_from_slice(b"\r\n\r\n");
+        out.extend_from_slice(body);
+    }
+
+    /// Sends one request on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send(&mut self, method: &str, target: &str, body: Option<&[u8]>) -> io::Result<()> {
+        let mut out = Vec::with_capacity(256);
+        self.render_request(&mut out, method, target, body.unwrap_or_default());
+        self.stream.write_all(&out)
+    }
+
+    /// Pipelines a batch of GETs in a single write.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_pipelined(&mut self, targets: &[&str]) -> io::Result<()> {
+        let mut out = Vec::with_capacity(128 * targets.len());
+        for target in targets {
+            self.render_request(&mut out, "GET", target, b"");
+        }
+        self.stream.write_all(&out)
+    }
+
+    /// Reads the next response off the connection (in pipelined
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, `UnexpectedEof` if the server closed
+    /// before a full response arrived.
+    pub fn recv(&mut self) -> io::Result<ClientResponse> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((response, used)) = parse_response(&self.buf)? {
+                self.buf.drain(..used);
+                return Ok(response);
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+
+    /// One round trip on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn roundtrip(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        self.send(method, target, body)?;
+        self.recv()
+    }
+}
+
+/// One blocking request over a fresh `Connection: close` connection
+/// (the protocol the integration tests and one-shot probes use).
 ///
 /// # Errors
 ///
@@ -343,38 +695,22 @@ pub fn fetch(
     stream.write_all(body)?;
     stream.flush()?;
 
-    let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad status line: {status_line:?}"),
-            )
-        })?;
-    let mut headers = Vec::new();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
+        if let Some((response, _)) = parse_response(&buf)? {
+            return Ok(response);
         }
-        if let Some((name, value)) = line.split_once(':') {
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ))
+            }
+            n => buf.extend_from_slice(&chunk[..n]),
         }
     }
-    let mut body = Vec::new();
-    reader.read_to_end(&mut body)?;
-    Ok(ClientResponse {
-        status,
-        headers,
-        body,
-    })
 }
 
 #[cfg(test)]
@@ -396,6 +732,7 @@ mod tests {
             path: "/v1/table/2".into(),
             query: vec![("scale".into(), "test".into()), ("format".into(), "csv".into())],
             body: Vec::new(),
+            close: false,
         };
         assert_eq!(req.canonical_key(), "GET /v1/table/2?format=csv&scale=test");
         let flipped = Request {
@@ -403,6 +740,97 @@ mod tests {
             ..req.clone()
         };
         assert_eq!(req.canonical_key(), flipped.canonical_key());
+    }
+
+    #[test]
+    fn parse_is_incremental_and_pipelined() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        // Every strict prefix of the first request (34 bytes) is
+        // Partial.
+        for cut in 0..34 {
+            assert!(
+                matches!(parse_request(&wire[..cut]), Parse::Partial),
+                "cut {cut}"
+            );
+        }
+        let Parse::Complete { request, used } = parse_request(wire) else {
+            panic!("first request should parse");
+        };
+        assert_eq!(request.path, "/healthz");
+        assert!(!request.close, "HTTP/1.1 defaults to keep-alive");
+        let Parse::Complete { request, used: used2 } = parse_request(&wire[used..]) else {
+            panic!("pipelined second request should parse");
+        };
+        assert_eq!(request.path, "/metrics");
+        assert_eq!(used + used2, wire.len());
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let close = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let Parse::Complete { request, .. } = parse_request(close) else {
+            panic!()
+        };
+        assert!(request.close);
+
+        let http10 = b"GET / HTTP/1.0\r\n\r\n";
+        let Parse::Complete { request, .. } = parse_request(http10) else {
+            panic!()
+        };
+        assert!(request.close, "HTTP/1.0 defaults to close");
+
+        let http10_ka = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let Parse::Complete { request, .. } = parse_request(http10_ka) else {
+            panic!()
+        };
+        assert!(!request.close);
+    }
+
+    #[test]
+    fn bodies_respect_content_length() {
+        let wire = b"POST /v1/sweep HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET";
+        let Parse::Complete { request, used } = parse_request(wire) else {
+            panic!()
+        };
+        assert_eq!(request.body, b"abcd");
+        assert_eq!(&wire[used..], b"GET");
+        // Body bytes not yet arrived → Partial.
+        assert!(matches!(parse_request(&wire[..wire.len() - 7]), Parse::Partial));
+    }
+
+    #[test]
+    fn oversized_headers_are_fatal_431() {
+        let junk = vec![b'A'; MAX_HEADER_BYTES + 1];
+        let Parse::Bad { bad, used } = parse_request(&junk) else {
+            panic!("oversized request line must be rejected");
+        };
+        assert_eq!(bad.status, 431);
+        assert!(used.is_none(), "framing is lost; connection must close");
+    }
+
+    #[test]
+    fn recoverable_bad_requests_report_consumed_framing() {
+        let wire = b"GET /bad%zz HTTP/1.1\r\n\r\n";
+        let Parse::Bad { bad, used } = parse_request(wire) else {
+            panic!()
+        };
+        assert_eq!(bad.status, 400);
+        assert_eq!(used, Some(wire.len()), "framing known; connection survives");
+    }
+
+    #[test]
+    fn wire_response_serializes_both_fates() {
+        let wire = Response::error(503, "queue full")
+            .with_header("Retry-After", "1".into())
+            .into_wire();
+        assert_eq!(wire.status(), 503);
+        let keep = String::from_utf8(wire.to_bytes(true)).unwrap();
+        assert!(keep.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{keep}");
+        assert!(keep.contains("Retry-After: 1\r\n"));
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        let close = String::from_utf8(wire.to_bytes(false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(close.ends_with("{\"error\": \"queue full\"}"));
     }
 
     #[test]
@@ -425,5 +853,15 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(length, "{\"error\": \"queue full\"}".len());
+    }
+
+    #[test]
+    fn client_response_parses_incrementally() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}HTTP/1.1 404";
+        assert!(parse_response(&wire[..20]).unwrap().is_none());
+        let (response, used) = parse_response(wire).unwrap().expect("complete");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"{}");
+        assert_eq!(&wire[used..], b"HTTP/1.1 404");
     }
 }

@@ -4,6 +4,7 @@
 //! ```text
 //!   GET  /healthz                          liveness + suite listing
 //!   GET  /metrics                          Prometheus text exposition
+//!   GET  /v1/version                       generator/format/git versions
 //!   GET  /v1/profile/<benchmark>?scale=..  memoized profile summary
 //!   GET  /v1/table/{1,2,3}?format=json|csv paper tables on demand
 //!   GET  /v1/figure/{7,8,9}?format=..      paper figure pairs
@@ -12,36 +13,54 @@
 //!
 //! Production behaviors, all dependency-free on `std::net`:
 //!
-//! - **Admission control**: a bounded queue between acceptor and the
-//!   fixed worker pool; when full, the acceptor itself answers
+//! - **Keep-alive + pipelining**: HTTP/1.1 persistent connections with
+//!   incremental parsing ([`http`], [`conn`]); pipelined requests are
+//!   answered as one batched write.
+//! - **Epoll reactor** (Linux, default): one readiness thread owns
+//!   every idle connection; workers only ever touch connections with
+//!   a complete parsed request ([`reactor`]). A threaded fallback
+//!   transport serves the same protocol ([`pool`]).
+//! - **Admission control**: a bounded queue between transport and the
+//!   fixed worker pool; when full, the transport itself answers
 //!   503 + `Retry-After` ([`pool`]).
 //! - **Per-endpoint concurrency limits**: simulation-backed GETs and
 //!   sweep batches each hold a semaphore permit ([`limit`]).
-//! - **Response caching**: LRU keyed by the canonical query
-//!   ([`respcache`]).
+//! - **Sharded hot state**: lock-striped profile-store front
+//!   ([`storefront`]), sharded O(1)-eviction LRU response cache
+//!   ([`respcache`]), striped telemetry counters.
+//! - **Pre-serialized artifacts**: the finite default-scale artifact
+//!   space is rendered to wire bytes once and served as `Arc` clones
+//!   ([`artifacts`]).
 //! - **Panic isolation**: a panicking handler — including one armed
 //!   via `LEAKAGE_FAULTS=server/handler/<route>=panic` — costs that
 //!   request a 500, never a worker ([`routes`]).
-//! - **Graceful shutdown**: SIGINT/SIGTERM stop the acceptor, queued
-//!   connections drain, workers join ([`signal`], [`pool`]).
+//! - **Graceful shutdown**: SIGINT/SIGTERM stop the transport,
+//!   admitted work drains, keep-alive connections are told
+//!   `Connection: close`, workers join ([`signal`], [`pool`]).
 //! - **Telemetry**: per-route request counters, latency histograms,
 //!   and an in-flight gauge in the shared registry, served back out
 //!   through `/metrics`.
 //!
 //! The [`loadgen`] module (and `loadgen` binary) is the closed-loop
-//! measurement harness: throughput plus p50/p95/p99 latency as JSON.
+//! measurement harness: keep-alive connections, optional pipelining,
+//! throughput plus interpolated p50/p95/p99/max latency as JSON.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
+pub mod conn;
 pub mod http;
 pub mod limit;
 pub mod loadgen;
 pub mod pool;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod respcache;
 pub mod routes;
 pub mod signal;
+pub mod storefront;
 
-pub use http::{fetch, ClientResponse, Request, Response};
+pub use http::{fetch, Client, ClientResponse, Request, Response, WireResponse};
 pub use loadgen::{LoadgenConfig, LoadReport};
-pub use pool::{Server, ServerConfig};
+pub use pool::{Server, ServerConfig, Transport};

@@ -1,12 +1,21 @@
 //! A closed-loop load generator for the analysis service.
 //!
-//! Each connection-thread issues one request at a time
-//! (connection-per-request — the server is `Connection: close`),
-//! walking a weighted path mix round-robin. Closed-loop means offered
-//! load adapts to service rate, so the report measures the server's
-//! sustainable throughput rather than queue growth.
+//! Each connection-thread holds one **keep-alive** connection, walks a
+//! weighted path mix round-robin, and optionally pipelines a batch of
+//! requests per write. Closed-loop means offered load adapts to
+//! service rate, so the report measures the server's sustainable
+//! throughput rather than queue growth. `keep_alive: false` restores
+//! the PR-5 connection-per-request behavior — the bench trajectory's
+//! baseline configuration.
+//!
+//! Latency is measured per response from the moment its batch was
+//! written (so under pipelining, later responses in a batch include
+//! their queueing delay behind earlier ones — that is the latency a
+//! pipelining client actually observes). Percentiles interpolate
+//! linearly between order statistics instead of nearest-rank, so
+//! small samples don't quantize.
 
-use crate::http::{fetch, ClientResponse};
+use crate::http::{fetch, Client, ClientResponse};
 use leakage_telemetry::json;
 use std::io;
 use std::net::SocketAddr;
@@ -25,6 +34,12 @@ pub struct LoadgenConfig {
     pub mix: Vec<(String, u32)>,
     /// Per-request client timeout.
     pub timeout: Duration,
+    /// Reuse connections (HTTP/1.1 keep-alive). `false` opens a fresh
+    /// connection per request.
+    pub keep_alive: bool,
+    /// Requests pipelined per write on a keep-alive connection
+    /// (clamped to ≥ 1; meaningless without `keep_alive`).
+    pub pipeline: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -39,6 +54,8 @@ impl Default for LoadgenConfig {
                 ("/metrics".to_string(), 1),
             ],
             timeout: Duration::from_secs(30),
+            keep_alive: true,
+            pipeline: 1,
         }
     }
 }
@@ -60,17 +77,24 @@ pub struct LoadReport {
     pub elapsed_secs: f64,
     /// Completed requests per second.
     pub throughput_rps: f64,
-    /// Median latency, microseconds.
+    /// Median latency, microseconds (interpolated).
     pub p50_us: u64,
-    /// 95th-percentile latency, microseconds.
+    /// 95th-percentile latency, microseconds (interpolated).
     pub p95_us: u64,
-    /// 99th-percentile latency, microseconds.
+    /// 99th-percentile latency, microseconds (interpolated).
     pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+    /// TCP connections opened over the whole run.
+    pub connections_opened: u64,
+    /// Reconnects after the first connection per thread (server-side
+    /// closes, request budgets, transport errors).
+    pub reconnects: u64,
 }
 
 impl LoadReport {
     /// The report as a JSON document (the loadgen CLI's output, and
-    /// what CI archives as `results/serving-baseline.json`).
+    /// what CI archives under `results/`).
     pub fn to_json(&self) -> String {
         let num_u = |v: u64| v.to_string();
         json::object([
@@ -84,6 +108,9 @@ impl LoadReport {
             json::key("p50_us") + &num_u(self.p50_us),
             json::key("p95_us") + &num_u(self.p95_us),
             json::key("p99_us") + &num_u(self.p99_us),
+            json::key("max_us") + &num_u(self.max_us),
+            json::key("connections_opened") + &num_u(self.connections_opened),
+            json::key("reconnects") + &num_u(self.reconnects),
         ])
     }
 }
@@ -102,37 +129,42 @@ fn schedule(mix: &[(String, u32)]) -> Vec<String> {
     paths
 }
 
+#[derive(Default)]
 struct ThreadStats {
     latencies_us: Vec<u64>,
     status_2xx: u64,
     status_4xx: u64,
     status_5xx: u64,
     transport_errors: u64,
+    connections_opened: u64,
+    reconnects: u64,
 }
 
-fn drive(config: &LoadgenConfig, offset: usize, deadline: Instant) -> ThreadStats {
+impl ThreadStats {
+    fn count(&mut self, status: u16, latency_us: u64) {
+        self.latencies_us.push(latency_us);
+        match status {
+            200..=299 => self.status_2xx += 1,
+            400..=499 => self.status_4xx += 1,
+            _ => self.status_5xx += 1,
+        }
+    }
+}
+
+/// Connection-per-request driver (`keep_alive: false`).
+fn drive_closing(config: &LoadgenConfig, offset: usize, deadline: Instant) -> ThreadStats {
     let paths = schedule(&config.mix);
-    let mut stats = ThreadStats {
-        latencies_us: Vec::new(),
-        status_2xx: 0,
-        status_4xx: 0,
-        status_5xx: 0,
-        transport_errors: 0,
-    };
+    let mut stats = ThreadStats::default();
     let mut cursor = offset % paths.len();
     while Instant::now() < deadline {
         let path = &paths[cursor];
         cursor = (cursor + 1) % paths.len();
         let started = Instant::now();
+        stats.connections_opened += 1;
         match fetch(config.addr, "GET", path, None, config.timeout) {
             Ok(ClientResponse { status, .. }) => {
                 let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-                stats.latencies_us.push(micros);
-                match status {
-                    200..=299 => stats.status_2xx += 1,
-                    400..=499 => stats.status_4xx += 1,
-                    _ => stats.status_5xx += 1,
-                }
+                stats.count(status, micros);
             }
             Err(_) => stats.transport_errors += 1,
         }
@@ -140,13 +172,98 @@ fn drive(config: &LoadgenConfig, offset: usize, deadline: Instant) -> ThreadStat
     stats
 }
 
-/// Sorted-latency percentile: nearest-rank over the merged sample.
+/// Keep-alive (optionally pipelined) driver. Reconnects when the
+/// server closes the connection (`Connection: close`, request budget,
+/// drain) — a clean close after a complete response is a reconnect,
+/// not a transport error.
+fn drive_keepalive(config: &LoadgenConfig, offset: usize, deadline: Instant) -> ThreadStats {
+    let paths = schedule(&config.mix);
+    let batch = config.pipeline.max(1);
+    let mut stats = ThreadStats::default();
+    let mut cursor = offset % paths.len();
+    let mut client: Option<Client> = None;
+
+    while Instant::now() < deadline {
+        if client.is_none() {
+            match Client::connect(config.addr, config.timeout) {
+                Ok(conn) => {
+                    stats.connections_opened += 1;
+                    if stats.connections_opened > 1 {
+                        stats.reconnects += 1;
+                    }
+                    client = Some(conn);
+                }
+                Err(_) => {
+                    stats.transport_errors += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+            }
+        }
+        let conn = client.as_mut().expect("connected above");
+
+        let targets: Vec<&str> = (0..batch)
+            .map(|i| paths[(cursor + i) % paths.len()].as_str())
+            .collect();
+        cursor = (cursor + batch) % paths.len();
+
+        let sent = Instant::now();
+        if conn.send_pipelined(&targets).is_err() {
+            stats.transport_errors += 1;
+            client = None;
+            continue;
+        }
+        let mut server_closed = false;
+        for answered in 0..batch {
+            match conn.recv() {
+                Ok(response) => {
+                    let micros = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    stats.count(response.status, micros);
+                    if response
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                    {
+                        // Clean close: any later requests in this
+                        // batch were legitimately discarded.
+                        server_closed = true;
+                        break;
+                    }
+                }
+                Err(err) => {
+                    // EOF before the batch's first response is a
+                    // server-side close that raced our send (e.g.
+                    // idle timeout) — retry on a fresh connection
+                    // rather than miscounting it as a failure.
+                    if !(answered == 0 && err.kind() == io::ErrorKind::UnexpectedEof) {
+                        stats.transport_errors += 1;
+                    }
+                    server_closed = true;
+                    break;
+                }
+            }
+        }
+        if server_closed {
+            client = None;
+        }
+    }
+    stats
+}
+
+/// Interpolated percentile over a sorted sample: rank
+/// `fraction * (n - 1)` with linear interpolation between adjacent
+/// order statistics (the "exclusive..inclusive" blend NumPy calls
+/// `linear`), rounded to whole microseconds.
 fn percentile(sorted_us: &[u64], fraction: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
     }
-    let rank = (fraction * sorted_us.len() as f64).ceil() as usize;
-    sorted_us[rank.saturating_sub(1).min(sorted_us.len() - 1)]
+    let rank = fraction.clamp(0.0, 1.0) * (sorted_us.len() - 1) as f64;
+    let lower = rank.floor() as usize;
+    let upper = rank.ceil() as usize;
+    let weight = rank - lower as f64;
+    let blended =
+        sorted_us[lower] as f64 + (sorted_us[upper] as f64 - sorted_us[lower] as f64) * weight;
+    blended.round() as u64
 }
 
 /// Runs the closed loop and aggregates the report.
@@ -164,18 +281,26 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         handles.push(
             std::thread::Builder::new()
                 .name(format!("loadgen-{index}"))
-                .spawn(move || drive(&config, index, deadline))?,
+                .spawn(move || {
+                    if config.keep_alive {
+                        drive_keepalive(&config, index, deadline)
+                    } else {
+                        drive_closing(&config, index, deadline)
+                    }
+                })?,
         );
     }
     let mut latencies = Vec::new();
-    let (mut s2, mut s4, mut s5, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    let mut totals = ThreadStats::default();
     for handle in handles {
         if let Ok(stats) = handle.join() {
             latencies.extend(stats.latencies_us);
-            s2 += stats.status_2xx;
-            s4 += stats.status_4xx;
-            s5 += stats.status_5xx;
-            errors += stats.transport_errors;
+            totals.status_2xx += stats.status_2xx;
+            totals.status_4xx += stats.status_4xx;
+            totals.status_5xx += stats.status_5xx;
+            totals.transport_errors += stats.transport_errors;
+            totals.connections_opened += stats.connections_opened;
+            totals.reconnects += stats.reconnects;
         }
     }
     latencies.sort_unstable();
@@ -183,15 +308,18 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let requests = latencies.len() as u64;
     Ok(LoadReport {
         requests,
-        status_2xx: s2,
-        status_4xx: s4,
-        status_5xx: s5,
-        transport_errors: errors,
+        status_2xx: totals.status_2xx,
+        status_4xx: totals.status_4xx,
+        status_5xx: totals.status_5xx,
+        transport_errors: totals.transport_errors,
         elapsed_secs: elapsed,
         throughput_rps: requests as f64 / elapsed,
         p50_us: percentile(&latencies, 0.50),
         p95_us: percentile(&latencies, 0.95),
         p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        connections_opened: totals.connections_opened,
+        reconnects: totals.reconnects,
     })
 }
 
@@ -209,13 +337,39 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_over_sorted_samples() {
-        let sorted: Vec<u64> = (1..=100).collect();
+    fn percentiles_interpolate_between_order_statistics() {
+        // 0..=100: rank = f * 100 lands exactly on the value f * 100.
+        let sorted: Vec<u64> = (0..=100).collect();
         assert_eq!(percentile(&sorted, 0.50), 50);
         assert_eq!(percentile(&sorted, 0.95), 95);
         assert_eq!(percentile(&sorted, 0.99), 99);
+        // Between order statistics: p50 of [10, 20, 30, 40] is
+        // rank 1.5 → halfway between 20 and 30.
+        assert_eq!(percentile(&[10, 20, 30, 40], 0.50), 25);
+        // p90 of [0, 100] is rank 0.9 → 90 (nearest-rank would say 100).
+        assert_eq!(percentile(&[0, 100], 0.90), 90);
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn percentiles_on_a_known_distribution() {
+        // 1000 samples uniform over 1..=1000 µs, pre-sorted: the
+        // interpolated percentile of a uniform grid must land on the
+        // grid itself (p = f·(n-1)+1 exactly).
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 1.0), 1000);
+        assert_eq!(percentile(&sorted, 0.50), 501, "median of 1..=1000");
+        assert_eq!(percentile(&sorted, 0.95), 950);
+        assert_eq!(percentile(&sorted, 0.99), 990);
+        // Interpolation is monotone in the fraction.
+        let mut last = 0;
+        for f in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let p = percentile(&sorted, f);
+            assert!(p >= last, "percentile must be monotone, {p} < {last}");
+            last = p;
+        }
     }
 
     #[test]
@@ -231,10 +385,18 @@ mod tests {
             p50_us: 100,
             p95_us: 200,
             p99_us: 300,
+            max_us: 350,
+            connections_opened: 4,
+            reconnects: 0,
         };
         let doc = leakage_telemetry::json::parse(&report.to_json()).unwrap();
         assert_eq!(doc.get("requests").and_then(|v| v.as_f64()), Some(10.0));
         assert_eq!(doc.get("throughput_rps").and_then(|v| v.as_f64()), Some(5.0));
         assert_eq!(doc.get("p99_us").and_then(|v| v.as_f64()), Some(300.0));
+        assert_eq!(doc.get("max_us").and_then(|v| v.as_f64()), Some(350.0));
+        assert_eq!(
+            doc.get("connections_opened").and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! The `leakage-server` binary: serve the analysis API until
 //! SIGINT/SIGTERM, then drain and exit.
 
-use leakage_server::{signal, Server, ServerConfig};
+use leakage_server::{signal, Server, ServerConfig, Transport};
 use leakage_workloads::Scale;
 use std::io::Write as _;
 use std::time::Duration;
@@ -10,7 +10,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: leakage-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                  [--scale test|small|paper|CYCLES] [--timeout-ms MS]\n\
-         \x20                  [--cache-entries N] [--sim-concurrency N] [--sweep-concurrency N]"
+         \x20                  [--cache-entries N] [--sim-concurrency N] [--sweep-concurrency N]\n\
+         \x20                  [--transport reactor|threaded] [--idle-timeout-ms MS]\n\
+         \x20                  [--max-requests-per-conn N] [--max-connections N]\n\
+         \x20                  [--pipeline-batch N] [--cache-shards N] [--no-preserialize]"
     );
     std::process::exit(2);
 }
@@ -41,6 +44,27 @@ fn parse_config() -> ServerConfig {
             "--sweep-concurrency" => {
                 config.sweep_concurrency = value().parse().unwrap_or_else(|_| usage());
             }
+            "--transport" => {
+                config.transport = Transport::parse(&value()).unwrap_or_else(|| usage());
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-requests-per-conn" => {
+                config.max_requests_per_connection =
+                    value().parse().unwrap_or_else(|_| usage());
+            }
+            "--max-connections" => {
+                config.max_connections = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--pipeline-batch" => {
+                config.pipeline_batch = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--cache-shards" => {
+                config.cache_shards = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--no-preserialize" => config.preserialize = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }

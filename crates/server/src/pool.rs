@@ -1,31 +1,35 @@
-//! The server core: acceptor, bounded admission queue, worker pool,
+//! The server core: transports, bounded job queue, worker pool,
 //! graceful shutdown.
 //!
-//! ```text
-//!            ┌───────────┐   bounded    ┌──────────┐
-//!  accept ──►│ admission │─────────────►│ worker 0 │──► handler
-//!            │   queue   │   (depth N)  │ worker 1 │──► handler
-//!            └───────────┘              │   ...    │
-//!                 │ full                └──────────┘
-//!                 ▼
-//!         503 + Retry-After
-//! ```
+//! Two transports produce parsed requests for the same worker pool:
 //!
-//! Backpressure is explicit: when the queue is full the acceptor
-//! itself writes a 503 with `Retry-After` and closes — the client
-//! learns immediately instead of queueing into a timeout. Shutdown is
-//! draining: the acceptor stops, queued connections are still served,
-//! then the workers exit.
+//! - [`Transport::Reactor`] (Linux, default): one epoll reactor
+//!   thread owns accept + read-readiness and parses requests off
+//!   nonblocking connections ([`crate::reactor`]); idle keep-alive
+//!   connections cost a slab entry, not a thread.
+//! - [`Transport::Threaded`]: a blocking acceptor admits connections
+//!   into the queue and each worker runs a keep-alive serve loop on
+//!   the connection it popped (the portable fallback, and the
+//!   "keep-alive before the reactor" point in the bench trajectory).
+//!
+//! Backpressure is explicit in both: when the bounded queue is full
+//! the transport itself answers 503 + `Retry-After` and closes — the
+//! client learns immediately instead of queueing into a timeout.
+//! Shutdown is draining: accepts stop, admitted work is served, idle
+//! keep-alive connections close, then the workers exit.
 
-use crate::http::{read_request, Response};
+use crate::artifacts::ArtifactCatalog;
+use crate::conn::{Connection, Taken};
+use crate::http::{read_request, Request, Response};
 use crate::limit::Semaphore;
 use crate::respcache::ResponseCache;
 use crate::routes::{self, RouteContext};
+use crate::storefront::StoreFront;
 use leakage_experiments::ProfileStore;
 use leakage_telemetry::registry;
 use leakage_workloads::Scale;
 use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,10 +37,36 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Latency histogram bounds in microseconds (1ms .. 10s).
-const LATENCY_BOUNDS_US: [u64; 8] = [
-    1_000, 5_000, 20_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
-];
+/// How parsed requests are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Readiness-based epoll reactor (Linux only; elsewhere it falls
+    /// back to [`Transport::Threaded`] at start).
+    Reactor,
+    /// Blocking acceptor + per-connection worker serve loop.
+    Threaded,
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            Transport::Reactor
+        } else {
+            Transport::Threaded
+        }
+    }
+}
+
+impl Transport {
+    /// Parses a CLI token (`reactor` | `threaded`).
+    pub fn parse(arg: &str) -> Option<Transport> {
+        match arg {
+            "reactor" => Some(Transport::Reactor),
+            "threaded" => Some(Transport::Threaded),
+            _ => None,
+        }
+    }
+}
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -45,11 +75,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads serving requests.
     pub workers: usize,
-    /// Admission queue depth; connections beyond it are shed.
+    /// Admission queue depth; work beyond it is shed.
     pub queue_depth: usize,
-    /// Per-connection socket read/write timeout.
+    /// Per-connection socket read/write timeout (blocking paths).
     pub request_timeout: Duration,
-    /// LRU response-cache capacity (entries).
+    /// LRU response-cache capacity (entries, across all shards).
     pub cache_entries: usize,
     /// Scale used when a query names none.
     pub default_scale: Scale,
@@ -61,6 +91,24 @@ pub struct ServerConfig {
     pub limit_wait: Duration,
     /// `Retry-After` seconds on shed responses.
     pub retry_after_secs: u64,
+    /// How parsed requests are produced.
+    pub transport: Transport,
+    /// Close keep-alive connections idle this long.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before it is closed
+    /// (0 = unlimited). The budget-exhausting response carries
+    /// `Connection: close`.
+    pub max_requests_per_connection: u32,
+    /// Pipelined requests a worker answers per queue cycle before
+    /// putting the connection back (fairness under pipelining).
+    pub pipeline_batch: usize,
+    /// Shards for the response cache and profile-store front.
+    pub cache_shards: usize,
+    /// Pre-serialize the default-scale artifact space at startup.
+    pub preserialize: bool,
+    /// Open connections the reactor will hold before shedding new
+    /// accepts.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,27 +124,55 @@ impl Default for ServerConfig {
             sweep_concurrency: 2,
             limit_wait: Duration::from_secs(10),
             retry_after_secs: 1,
+            transport: Transport::default(),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1024,
+            pipeline_batch: 32,
+            cache_shards: 8,
+            preserialize: true,
+            max_connections: 1024,
         }
     }
 }
 
-/// The bounded admission queue between acceptor and workers.
-struct Queue {
-    inner: Mutex<QueueInner>,
+/// Settings a worker needs to serve one connection's batch.
+pub struct WorkerConfig {
+    /// Per-connection request budget (0 = unlimited).
+    pub max_requests_per_connection: u32,
+    /// Max pipelined responses per queue cycle.
+    pub pipeline_batch: usize,
+    /// Blocking-write timeout.
+    pub request_timeout: Duration,
+    /// Whether connections are nonblocking (reactor transport) and
+    /// must be toggled around blocking writes.
+    pub nonblocking: bool,
+    /// The server's stop flag: once raised, responses advertise
+    /// `Connection: close` and connections wind down.
+    pub stop: Arc<AtomicBool>,
+}
+
+/// A parsed request together with the connection it arrived on — the
+/// unit of work the reactor hands the pool.
+pub type Job = (Connection, Request);
+
+/// The bounded queue between a transport and the workers.
+pub struct Queue<T> {
+    inner: Mutex<QueueInner<T>>,
     ready: Condvar,
     depth: usize,
 }
 
-struct QueueInner {
-    connections: VecDeque<TcpStream>,
+struct QueueInner<T> {
+    items: VecDeque<T>,
     open: bool,
 }
 
-impl Queue {
-    fn new(depth: usize) -> Self {
+impl<T> Queue<T> {
+    /// A queue shedding beyond `depth` items.
+    pub fn new(depth: usize) -> Self {
         Queue {
             inner: Mutex::new(QueueInner {
-                connections: VecDeque::new(),
+                items: VecDeque::new(),
                 open: true,
             }),
             ready: Condvar::new(),
@@ -104,25 +180,29 @@ impl Queue {
         }
     }
 
-    /// Admits a connection, or returns it when the queue is full.
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    /// Admits an item, or returns it when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// The rejected item, for the caller to shed.
+    pub fn push(&self, item: T) -> Result<(), T> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        if inner.connections.len() >= self.depth {
-            return Err(stream);
+        if inner.items.len() >= self.depth {
+            return Err(item);
         }
-        inner.connections.push_back(stream);
+        inner.items.push_back(item);
         drop(inner);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Takes the next connection; `None` once closed **and** drained,
-    /// so queued work is always served through shutdown.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Takes the next item; `None` once closed **and** drained, so
+    /// queued work is always served through shutdown.
+    pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            if let Some(stream) = inner.connections.pop_front() {
-                return Some(stream);
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
             }
             if !inner.open {
                 return None;
@@ -135,7 +215,7 @@ impl Queue {
     }
 
     /// Stops admissions and wakes every worker to drain and exit.
-    fn close(&self) {
+    pub fn close(&self) {
         self.inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -143,13 +223,34 @@ impl Queue {
         self.ready.notify_all();
     }
 
-    fn len(&self) -> usize {
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
         self.inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .connections
+            .items
             .len()
     }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+enum Inner {
+    #[cfg(target_os = "linux")]
+    Reactor {
+        handle: Arc<crate::reactor::ReactorHandle>,
+        queue: Arc<Queue<Job>>,
+        reactor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    Threaded {
+        queue: Arc<Queue<Connection>>,
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
 }
 
 /// A running analysis service. Dropping without
@@ -158,13 +259,11 @@ impl Queue {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    queue: Arc<Queue>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    inner: Inner,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor and worker pool, and returns
+    /// Binds, spawns the transport and worker pool, and returns
     /// immediately.
     ///
     /// # Errors
@@ -172,51 +271,56 @@ impl Server {
     /// Bind/configuration I/O errors.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        // Nonblocking so the acceptor can poll the stop flag; under
-        // load accepts still happen back-to-back.
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let shards = config.cache_shards.max(1);
 
         let ctx = Arc::new(RouteContext {
             store: ProfileStore::global(),
-            cache: Arc::new(ResponseCache::new(config.cache_entries)),
+            front: Arc::new(StoreFront::new(ProfileStore::global(), shards)),
+            cache: Arc::new(ResponseCache::new(config.cache_entries, shards)),
+            catalog: Arc::new(ArtifactCatalog::new(
+                config.preserialize,
+                config.default_scale,
+            )),
             sim_limit: Arc::new(Semaphore::new(config.sim_concurrency.max(1))),
             sweep_limit: Arc::new(Semaphore::new(config.sweep_concurrency.max(1))),
             default_scale: config.default_scale,
             limit_wait: config.limit_wait,
             retry_after_secs: config.retry_after_secs,
+            metrics: routes::HotMetrics::resolve(),
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(Queue::new(config.queue_depth.max(1)));
 
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            let queue = Arc::clone(&queue);
-            let retry_after = config.retry_after_secs;
-            let timeout = config.request_timeout;
-            std::thread::Builder::new()
-                .name("leakage-server-accept".to_string())
-                .spawn(move || accept_loop(&listener, &stop, &queue, retry_after, timeout))?
-        };
-
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for index in 0..config.workers.max(1) {
-            let queue = Arc::clone(&queue);
+        if config.preserialize {
+            // Warm the catalog off the serving path; first-touch
+            // requests that race it compute identical bytes.
             let ctx = Arc::clone(&ctx);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("leakage-server-worker-{index}"))
-                    .spawn(move || worker_loop(&queue, &ctx))?,
-            );
+            std::thread::Builder::new()
+                .name("leakage-server-warm".to_string())
+                .spawn(move || routes::warm_catalog(&ctx))?;
         }
 
-        Ok(Server {
-            addr,
-            stop,
-            queue,
-            acceptor: Some(acceptor),
-            workers,
-        })
+        let transport = match config.transport {
+            Transport::Reactor if cfg!(target_os = "linux") => Transport::Reactor,
+            _ => Transport::Threaded,
+        };
+        let worker_config = Arc::new(WorkerConfig {
+            max_requests_per_connection: config.max_requests_per_connection,
+            pipeline_batch: config.pipeline_batch.max(1),
+            request_timeout: config.request_timeout,
+            nonblocking: transport == Transport::Reactor,
+            stop: Arc::clone(&stop),
+        });
+
+        let inner = match transport {
+            #[cfg(target_os = "linux")]
+            Transport::Reactor => {
+                start_reactor(listener, &config, &ctx, &stop, &worker_config)?
+            }
+            _ => start_threaded(listener, &config, &ctx, &stop, &worker_config)?,
+        };
+
+        Ok(Server { addr, stop, inner })
     }
 
     /// The bound address (with the real port when `addr` asked for 0).
@@ -224,32 +328,155 @@ impl Server {
         self.addr
     }
 
-    /// Current admission-queue depth (observability for tests and the
-    /// health endpoint).
+    /// Current job/admission-queue depth (observability for tests).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Reactor { queue, .. } => queue.len(),
+            Inner::Threaded { queue, .. } => queue.len(),
+        }
     }
 
     /// Graceful shutdown: stop accepting, serve everything already
-    /// admitted, join every thread.
+    /// admitted (in-flight keep-alive requests included), close idle
+    /// connections, join every thread.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // Acceptor is gone: nothing new can be admitted. Closing the
-        // queue lets workers drain the backlog and exit.
-        self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        match &mut self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Reactor {
+                handle,
+                queue,
+                reactor,
+                workers,
+            } => {
+                handle.wake();
+                if let Some(reactor) = reactor.take() {
+                    let _ = reactor.join();
+                }
+                // Reactor exit means every connection has drained;
+                // closing the queue releases the idle workers.
+                queue.close();
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            Inner::Threaded {
+                queue,
+                acceptor,
+                workers,
+            } => {
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                // Acceptor is gone: nothing new can be admitted.
+                // Closing the queue lets workers drain the backlog
+                // and exit.
+                queue.close();
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
         }
     }
+}
+
+#[cfg(target_os = "linux")]
+fn start_reactor(
+    listener: TcpListener,
+    config: &ServerConfig,
+    ctx: &Arc<RouteContext>,
+    stop: &Arc<AtomicBool>,
+    worker_config: &Arc<WorkerConfig>,
+) -> io::Result<Inner> {
+    use crate::reactor::{Reactor, ReactorConfig};
+
+    listener.set_nonblocking(true)?;
+    let queue = Arc::new(Queue::new(config.queue_depth.max(1)));
+    let (reactor, handle) = Reactor::new(
+        listener,
+        Arc::clone(&queue),
+        ReactorConfig {
+            idle_timeout: config.idle_timeout,
+            max_requests_per_connection: config.max_requests_per_connection,
+            max_connections: config.max_connections.max(1),
+            retry_after_secs: config.retry_after_secs,
+        },
+    )?;
+
+    let reactor_thread = {
+        let stop = Arc::clone(stop);
+        std::thread::Builder::new()
+            .name("leakage-server-reactor".to_string())
+            .spawn(move || reactor.run(&stop))?
+    };
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for index in 0..config.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let handle = Arc::clone(&handle);
+        let ctx = Arc::clone(ctx);
+        let worker_config = Arc::clone(worker_config);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("leakage-server-worker-{index}"))
+                .spawn(move || {
+                    crate::reactor::reactor_worker(&queue, &handle, &ctx, &worker_config)
+                })?,
+        );
+    }
+    Ok(Inner::Reactor {
+        handle,
+        queue,
+        reactor: Some(reactor_thread),
+        workers,
+    })
+}
+
+fn start_threaded(
+    listener: TcpListener,
+    config: &ServerConfig,
+    ctx: &Arc<RouteContext>,
+    stop: &Arc<AtomicBool>,
+    worker_config: &Arc<WorkerConfig>,
+) -> io::Result<Inner> {
+    // Nonblocking so the acceptor can poll the stop flag; under load
+    // accepts still happen back-to-back.
+    listener.set_nonblocking(true)?;
+    let queue = Arc::new(Queue::new(config.queue_depth.max(1)));
+
+    let acceptor = {
+        let stop = Arc::clone(stop);
+        let queue = Arc::clone(&queue);
+        let retry_after = config.retry_after_secs;
+        let timeout = config.request_timeout;
+        std::thread::Builder::new()
+            .name("leakage-server-accept".to_string())
+            .spawn(move || accept_loop(&listener, &stop, &queue, retry_after, timeout))?
+    };
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    let idle_timeout = config.idle_timeout;
+    for index in 0..config.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let ctx = Arc::clone(ctx);
+        let worker_config = Arc::clone(worker_config);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("leakage-server-worker-{index}"))
+                .spawn(move || threaded_worker(&queue, &ctx, &worker_config, idle_timeout))?,
+        );
+    }
+    Ok(Inner::Threaded {
+        queue,
+        acceptor: Some(acceptor),
+        workers,
+    })
 }
 
 fn accept_loop(
     listener: &TcpListener,
     stop: &AtomicBool,
-    queue: &Queue,
+    queue: &Queue<Connection>,
     retry_after_secs: u64,
     timeout: Duration,
 ) {
@@ -279,70 +506,189 @@ fn accept_loop(
     }
 }
 
-fn admit(stream: TcpStream, queue: &Queue, retry_after_secs: u64, timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(timeout));
+fn admit(stream: TcpStream, queue: &Queue<Connection>, retry_after_secs: u64, timeout: Duration) {
     let _ = stream.set_write_timeout(Some(timeout));
-    if let Err(mut rejected) = queue.push(stream) {
+    let _ = stream.set_nodelay(true);
+    if let Err(mut rejected) = queue.push(Connection::new(stream, 0)) {
         registry().counter("server_admission_rejected_total").inc();
         // Drain the request first (briefly — the acceptor must not be
         // hostage to a slow sender): dropping a socket with unread
         // bytes RSTs the connection and the client never sees the 503.
-        let _ = rejected.set_read_timeout(Some(Duration::from_millis(250)));
-        let _ = read_request(&mut rejected);
+        let _ = rejected
+            .stream
+            .set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = read_request(&mut rejected.stream);
         let _ = Response::error(503, "admission queue full")
             .with_header("Retry-After", retry_after_secs.to_string())
-            .write_to(&mut rejected);
-        let _ = rejected.shutdown(std::net::Shutdown::Write);
+            .write_to(&mut rejected.stream);
+        let _ = rejected.stream.shutdown(std::net::Shutdown::Write);
     }
 }
 
-fn worker_loop(queue: &Queue, ctx: &RouteContext) {
-    while let Some(stream) = queue.pop() {
+fn threaded_worker(
+    queue: &Queue<Connection>,
+    ctx: &RouteContext,
+    worker_config: &WorkerConfig,
+    idle_timeout: Duration,
+) {
+    while let Some(conn) = queue.pop() {
         // Isolation belt-and-braces: `routes::handle` already catches
         // handler panics; this outer catch covers the protocol layer
         // so no panic whatsoever can kill a worker.
-        let result = catch_unwind(AssertUnwindSafe(|| serve_connection(stream, ctx)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            serve_blocking(conn, ctx, worker_config, idle_timeout);
+        }));
         if result.is_err() {
             registry().counter("server_worker_panics_total").inc();
         }
     }
 }
 
-fn serve_connection(mut stream: TcpStream, ctx: &RouteContext) {
-    registry().counter("server_requests_total").inc();
-    let inflight = registry().gauge("server_inflight_requests");
-    inflight.add(1);
-    let started = Instant::now();
-
-    let (route, response) = match read_request(&mut stream) {
-        Ok(Ok(request)) => {
-            let route = routes::route_name(&request);
-            (route, routes::handle(&request, ctx))
-        }
-        Ok(Err(bad)) => ("bad_request", Response::error(bad.status, &bad.reason)),
-        Err(_) => {
-            // Transport failure before a request existed; nothing to
-            // answer.
-            registry().counter("server_transport_errors_total").inc();
-            inflight.sub(1);
-            return;
-        }
-    };
-
-    match response.status {
-        400..=499 => registry().counter("server_responses_4xx_total").inc(),
-        500..=599 => registry().counter("server_responses_5xx_total").inc(),
-        _ => registry().counter("server_responses_2xx_total").inc(),
+/// The threaded transport's keep-alive serve loop: parse, hand the
+/// batch to the shared worker path, read more, until the connection's
+/// fate is close or it idles out.
+fn serve_blocking(
+    mut conn: Connection,
+    ctx: &RouteContext,
+    worker_config: &WorkerConfig,
+    idle_timeout: Duration,
+) {
+    // Short read slices so the loop can notice stop/idle deadlines
+    // without a dedicated reactor.
+    let slice = idle_timeout.min(Duration::from_millis(100)).max(Duration::from_millis(10));
+    if conn.stream.set_read_timeout(Some(slice)).is_err() {
+        return;
     }
-    if response.write_to(&mut stream).is_err() {
-        registry().counter("server_transport_errors_total").inc();
+    let mut idle = Duration::ZERO;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.take_request(worker_config.max_requests_per_connection) {
+            Taken::Request(request) => {
+                conn = work_requests(conn, request, ctx, worker_config);
+                if conn.close || worker_config.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle = Duration::ZERO;
+            }
+            Taken::Bad { bad, recoverable } => {
+                let survive = recoverable && !conn.eof;
+                let wire = Response::error(bad.status, &bad.reason).into_wire();
+                wire.serialize_into(&mut conn.out, survive);
+                ctx.metrics.responses_4xx.inc();
+                let wrote = (&conn.stream).write_all(&conn.out).is_ok();
+                conn.out.clear();
+                if !survive || !wrote {
+                    return;
+                }
+            }
+            Taken::NeedMore => {
+                if conn.eof || conn.close {
+                    return;
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => conn.eof = true,
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        idle = Duration::ZERO;
+                    }
+                    Err(err)
+                        if err.kind() == io::ErrorKind::WouldBlock
+                            || err.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        idle += slice;
+                        if worker_config.stop.load(Ordering::SeqCst) || idle >= idle_timeout {
+                            registry().counter("server_idle_closed_total").inc();
+                            return;
+                        }
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        ctx.metrics.transport_errors.inc();
+                        return;
+                    }
+                }
+            }
+        }
     }
+}
 
-    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    registry()
-        .histogram(&format!("server_latency_us_{route}"), &LATENCY_BOUNDS_US)
-        .record(elapsed_us);
-    inflight.sub(1);
+/// The shared worker path (both transports): answer `request` and up
+/// to `pipeline_batch - 1` pipelined successors, batching the
+/// pre-serialized responses into one buffer and one write.
+///
+/// Returns the connection with its fate recorded in `close`.
+pub fn work_requests(
+    mut conn: Connection,
+    mut request: Request,
+    ctx: &RouteContext,
+    worker_config: &WorkerConfig,
+) -> Connection {
+    ctx.metrics.inflight.add(1);
+    let mut answered = 0usize;
+    loop {
+        let started = Instant::now();
+        let route = routes::route_name(&request);
+        let wire = routes::handle(&request, ctx);
+        // The response's Connection header must state the fate: close
+        // when the client asked, the budget ran out, the peer
+        // half-closed with nothing left buffered, or we are draining.
+        let keep_alive = !conn.close
+            && !worker_config.stop.load(Ordering::Relaxed)
+            && !(conn.eof && !conn.has_buffered_request());
+        wire.serialize_into(&mut conn.out, keep_alive);
+        ctx.metrics.requests_total.inc();
+        ctx.metrics.count_status(wire.status());
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        ctx.metrics.record_latency(route, micros);
+        answered += 1;
+
+        if !keep_alive {
+            conn.close = true;
+            break;
+        }
+        if answered >= worker_config.pipeline_batch {
+            break;
+        }
+        match conn.take_request(worker_config.max_requests_per_connection) {
+            Taken::Request(next) => request = next,
+            Taken::Bad { bad, recoverable } => {
+                let survive = recoverable && !conn.eof;
+                let wire = Response::error(bad.status, &bad.reason).into_wire();
+                wire.serialize_into(&mut conn.out, survive);
+                ctx.metrics.responses_4xx.inc();
+                if !survive {
+                    conn.close = true;
+                }
+                break;
+            }
+            // `take_request` already marked close on a half-closed
+            // dangling partial; otherwise just flush and hand the
+            // connection back for more bytes.
+            Taken::NeedMore => break,
+        }
+    }
+    if !conn.out.is_empty() && flush_output(&mut conn, worker_config).is_err() {
+        ctx.metrics.transport_errors.inc();
+        conn.close = true;
+    }
+    ctx.metrics.inflight.sub(1);
+    conn
+}
+
+/// Writes the batched output buffer, toggling a reactor-owned socket
+/// into blocking mode for the write.
+fn flush_output(conn: &mut Connection, worker_config: &WorkerConfig) -> io::Result<()> {
+    if worker_config.nonblocking {
+        conn.stream.set_nonblocking(false)?;
+    }
+    let result = (&conn.stream).write_all(&conn.out);
+    if worker_config.nonblocking {
+        // Restore readiness mode even after a failed write; the
+        // reactor owns cleanup either way.
+        let _ = conn.stream.set_nonblocking(true);
+    }
+    conn.out.clear();
+    result
 }
 
 #[cfg(test)]
@@ -352,23 +698,15 @@ mod tests {
     #[test]
     fn queue_sheds_above_depth_and_drains_after_close() {
         let queue = Queue::new(2);
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let connect = || TcpStream::connect(addr).unwrap();
-        let accept = |_: &TcpStream| listener.accept().unwrap().0;
-
-        let c1 = connect();
-        let c2 = connect();
-        let c3 = connect();
-        assert!(queue.push(accept(&c1)).is_ok());
-        assert!(queue.push(accept(&c2)).is_ok());
-        assert!(queue.push(accept(&c3)).is_err(), "third admit exceeds depth 2");
+        assert!(queue.push(1).is_ok());
+        assert!(queue.push(2).is_ok());
+        assert_eq!(queue.push(3), Err(3), "third push exceeds depth 2");
         assert_eq!(queue.len(), 2);
 
         queue.close();
-        assert!(queue.pop().is_some(), "drain continues after close");
-        assert!(queue.pop().is_some());
-        assert!(queue.pop().is_none(), "then workers are released");
+        assert_eq!(queue.pop(), Some(1), "drain continues after close");
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None, "then workers are released");
     }
 
     #[test]
@@ -377,5 +715,16 @@ mod tests {
         assert!(config.workers >= 1);
         assert!(config.queue_depth >= config.workers);
         assert_eq!(config.default_scale, Scale::Test);
+        assert!(config.pipeline_batch >= 1);
+        assert!(config.preserialize);
+        #[cfg(target_os = "linux")]
+        assert_eq!(config.transport, Transport::Reactor);
+    }
+
+    #[test]
+    fn transport_tokens_parse() {
+        assert_eq!(Transport::parse("reactor"), Some(Transport::Reactor));
+        assert_eq!(Transport::parse("threaded"), Some(Transport::Threaded));
+        assert_eq!(Transport::parse("epoll"), None);
     }
 }

@@ -3,22 +3,41 @@
 //! Every handler runs inside [`handle`]'s `catch_unwind`, behind its
 //! route's fault-injection site `server/handler/<route>`, so an armed
 //! panic (or a genuine handler bug) becomes a 500 for that one
-//! connection and never takes down a pool worker.
+//! request and never takes down a pool worker.
+//!
+//! [`handle`] returns a [`WireResponse`] — the pre-serialized form —
+//! and resolves it through three tiers, cheapest first:
+//!
+//! 1. the **artifact catalog** (immutable pre-serialized bodies for
+//!    the finite default-scale artifact space, `/healthz`, and
+//!    `/v1/version`),
+//! 2. the **sharded LRU response cache** (everything else under
+//!    `GET /v1/*`),
+//! 3. the real handler, whose successful output is then published
+//!    into whichever tier it is eligible for.
+//!
+//! Hot-path telemetry goes through [`HotMetrics`]: striped counters
+//! and histograms resolved **once** at server start, so per-request
+//! accounting is a relaxed `fetch_add` on a thread-local stripe —
+//! never a registry lock.
 
-use crate::http::{Request, Response};
+use crate::artifacts::ArtifactCatalog;
+use crate::http::{Request, Response, WireResponse};
 use crate::limit::Semaphore;
 use crate::respcache::ResponseCache;
+use crate::storefront::StoreFront;
 use leakage_cachesim::Level1;
 use leakage_experiments::query::{self, QueryError, SweepPoint};
 use leakage_experiments::{CacheProfile, ProfileStore, Table};
 use leakage_faults::StoreError;
 use leakage_telemetry::json::{self, Json};
 use leakage_telemetry::prometheus_text;
-use leakage_telemetry::registry;
+use leakage_telemetry::{registry, Gauge, Histogram, StripedCounter};
 use leakage_workloads::{Scale, SUITE_NAMES};
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Largest accepted `Scale::Custom` cycle count — a served query must
@@ -28,12 +47,102 @@ pub const MAX_CUSTOM_CYCLES: u64 = 50_000_000;
 /// Largest accepted `/v1/sweep` batch.
 pub const MAX_SWEEP_POINTS: usize = 512;
 
+/// Latency histogram bounds in microseconds (100µs .. 10s).
+pub const LATENCY_BOUNDS_US: [u64; 9] = [
+    100, 1_000, 5_000, 20_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+];
+
+/// Every route label [`route_name`] can produce.
+pub const ROUTES: [&str; 8] = [
+    "healthz", "metrics", "version", "profile", "table", "figure", "sweep", "not_found",
+];
+
+/// Hot-path metric handles, resolved once at server start. Striped
+/// counters scale across worker threads; pre-resolution means the
+/// per-request cost is one `HashMap` probe on a `&'static str` key
+/// (requests, latency) or a direct field read — no registry mutex.
+pub struct HotMetrics {
+    requests: HashMap<&'static str, Arc<StripedCounter>>,
+    latency: HashMap<&'static str, Arc<Histogram>>,
+    cache_hits: Arc<StripedCounter>,
+    cache_misses: Arc<StripedCounter>,
+    catalog_hits: Arc<StripedCounter>,
+    /// 2xx responses written.
+    pub responses_2xx: Arc<StripedCounter>,
+    /// 4xx responses written.
+    pub responses_4xx: Arc<StripedCounter>,
+    /// 5xx responses written.
+    pub responses_5xx: Arc<StripedCounter>,
+    /// Requests answered (any status), across all connections.
+    pub requests_total: Arc<StripedCounter>,
+    /// Read/write failures on client connections.
+    pub transport_errors: Arc<StripedCounter>,
+    /// Connections currently between parse and response write.
+    pub inflight: Arc<Gauge>,
+}
+
+impl HotMetrics {
+    /// Resolves every handle from the global registry. Metric names
+    /// are identical to the pre-sharding implementation (striped
+    /// counters merge into the plain counter list in snapshots), so
+    /// `/metrics` output and dashboards are unchanged.
+    pub fn resolve() -> Self {
+        let reg = registry();
+        let mut requests = HashMap::new();
+        let mut latency = HashMap::new();
+        for route in ROUTES {
+            requests.insert(
+                route,
+                reg.striped_counter(&format!("server_requests_{route}_total")),
+            );
+            latency.insert(
+                route,
+                reg.histogram(&format!("server_latency_us_{route}"), &LATENCY_BOUNDS_US),
+            );
+        }
+        HotMetrics {
+            requests,
+            latency,
+            cache_hits: reg.striped_counter("server_response_cache_hits_total"),
+            cache_misses: reg.striped_counter("server_response_cache_misses_total"),
+            catalog_hits: reg.striped_counter("server_catalog_hits_total"),
+            responses_2xx: reg.striped_counter("server_responses_2xx_total"),
+            responses_4xx: reg.striped_counter("server_responses_4xx_total"),
+            responses_5xx: reg.striped_counter("server_responses_5xx_total"),
+            requests_total: reg.striped_counter("server_requests_total"),
+            transport_errors: reg.striped_counter("server_transport_errors_total"),
+            inflight: reg.gauge("server_inflight_requests"),
+        }
+    }
+
+    /// Records one served request's latency on its route's histogram.
+    pub fn record_latency(&self, route: &str, micros: u64) {
+        if let Some(histogram) = self.latency.get(route) {
+            histogram.record(micros);
+        }
+    }
+
+    /// Bumps the status-class counter for one written response.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            400..=499 => self.responses_4xx.inc(),
+            500..=599 => self.responses_5xx.inc(),
+            _ => self.responses_2xx.inc(),
+        }
+    }
+}
+
 /// Everything a handler needs, shared across pool workers.
 pub struct RouteContext {
     /// The memoized profile store backing every simulation query.
     pub store: &'static ProfileStore,
-    /// LRU response cache.
+    /// Lock-striped read front over the store (profile + sweep hot
+    /// path).
+    pub front: Arc<StoreFront>,
+    /// Sharded LRU response cache.
     pub cache: Arc<ResponseCache>,
+    /// Pre-serialized artifact catalog.
+    pub catalog: Arc<ArtifactCatalog>,
     /// Concurrency limit for simulation-backed GETs.
     pub sim_limit: Arc<Semaphore>,
     /// Concurrency limit for sweep batches.
@@ -45,6 +154,8 @@ pub struct RouteContext {
     pub limit_wait: Duration,
     /// `Retry-After` seconds on shed responses.
     pub retry_after_secs: u64,
+    /// Pre-resolved hot-path metric handles.
+    pub metrics: HotMetrics,
 }
 
 /// The route label used for fault sites and per-route metrics.
@@ -53,6 +164,7 @@ pub fn route_name(request: &Request) -> &'static str {
     match () {
         _ if path == "/healthz" => "healthz",
         _ if path == "/metrics" => "metrics",
+        _ if path == "/v1/version" => "version",
         _ if path.starts_with("/v1/profile/") => "profile",
         _ if path.starts_with("/v1/table/") => "table",
         _ if path.starts_with("/v1/figure/") => "figure",
@@ -61,23 +173,52 @@ pub fn route_name(request: &Request) -> &'static str {
     }
 }
 
-/// Routes one request to its handler with response caching and panic
-/// isolation. Always returns a response — a panicking handler yields
-/// a 500.
-pub fn handle(request: &Request, ctx: &RouteContext) -> Response {
+/// Whether this request resolves inside the catalog's finite
+/// pre-serialized space: constant bodies, or a default-scale artifact
+/// in a known format.
+fn catalog_eligible(request: &Request, ctx: &RouteContext) -> bool {
+    if !ctx.catalog.enabled() || request.method != "GET" {
+        return false;
+    }
+    match request.path.as_str() {
+        "/healthz" | "/v1/version" => request.query.is_empty(),
+        "/v1/table/1" | "/v1/table/2" | "/v1/table/3" | "/v1/figure/7" | "/v1/figure/8"
+        | "/v1/figure/9" => request.query.iter().all(|(k, v)| match k.as_str() {
+            // Compare by cycles: `scale=test` and `scale=200000` are
+            // the same artifact.
+            "scale" => {
+                Scale::parse_arg(v).map(Scale::cycles)
+                    == Some(ctx.catalog.default_scale().cycles())
+            }
+            "format" => v == "json" || v == "csv",
+            _ => false,
+        }),
+        _ => false,
+    }
+}
+
+/// Routes one request to its handler with catalog/cache lookup and
+/// panic isolation. Always returns a response — a panicking handler
+/// yields a 500.
+pub fn handle(request: &Request, ctx: &RouteContext) -> WireResponse {
     let route = route_name(request);
-    registry()
-        .counter(&format!("server_requests_{route}_total"))
-        .inc();
+    if let Some(counter) = ctx.metrics.requests.get(route) {
+        counter.inc();
+    }
 
     let key = request.canonical_key();
-    let cache_eligible = request.method == "GET" && request.path.starts_with("/v1/");
-    if cache_eligible {
-        if let Some(hit) = ctx.cache.get(&key) {
-            registry().counter("server_response_cache_hits_total").inc();
+    let in_catalog_space = catalog_eligible(request, ctx);
+    if in_catalog_space {
+        if let Some(hit) = ctx.catalog.get(&key) {
+            ctx.metrics.catalog_hits.inc();
             return hit;
         }
-        registry().counter("server_response_cache_misses_total").inc();
+    } else if request.method == "GET" && request.path.starts_with("/v1/") {
+        if let Some(hit) = ctx.cache.get(&key) {
+            ctx.metrics.cache_hits.inc();
+            return hit;
+        }
+        ctx.metrics.cache_misses.inc();
     }
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -91,16 +232,58 @@ pub fn handle(request: &Request, ctx: &RouteContext) -> Response {
             Response::error(500, "handler panicked; see server logs")
         }
     };
-    if ResponseCache::cacheable(request, &response) {
-        ctx.cache.put(&key, &response);
+    let status = response.status;
+    let wire = response.into_wire();
+    if in_catalog_space && status == 200 {
+        ctx.catalog.insert(&key, wire.clone());
+    } else if ResponseCache::cacheable(request, status) {
+        ctx.cache.put(&key, wire.clone());
     }
-    response
+    wire
+}
+
+/// Fills the catalog by pushing every artifact in its finite space
+/// through the normal [`handle`] path — the bytes in the catalog are
+/// by construction the handler's (and hence the batch pipeline's)
+/// bytes. Called from a background thread at server start; safe to
+/// race with live traffic (first insert wins, all inserts identical).
+pub fn warm_catalog(ctx: &RouteContext) {
+    if !ctx.catalog.enabled() {
+        return;
+    }
+    let mut targets = vec![Request::get("/healthz"), Request::get("/v1/version")];
+    let scale_arg = match ctx.catalog.default_scale() {
+        Scale::Test => "test".to_string(),
+        Scale::Small => "small".to_string(),
+        Scale::Paper => "paper".to_string(),
+        Scale::Custom(cycles) => cycles.to_string(),
+    };
+    let paths: Vec<String> = query::TABLE_IDS
+        .iter()
+        .map(|id| format!("/v1/table/{id}"))
+        .chain(query::FIGURE_IDS.iter().map(|id| format!("/v1/figure/{id}")))
+        .collect();
+    for path in &paths {
+        for query in [
+            vec![],
+            vec![("format".to_string(), "csv".to_string())],
+            vec![("scale".to_string(), scale_arg.clone())],
+        ] {
+            let mut request = Request::get(path);
+            request.query = query;
+            targets.push(request);
+        }
+    }
+    for request in targets {
+        let _ = handle(&request, ctx);
+    }
 }
 
 fn dispatch(request: &Request, ctx: &RouteContext, route: &str) -> Response {
     match (request.method.as_str(), route) {
         ("GET", "healthz") => healthz(),
         ("GET", "metrics") => Response::text(200, prometheus_text()),
+        ("GET", "version") => version(),
         ("GET", "profile" | "table" | "figure") => {
             // Validate the scale before burning a permit on a
             // malformed query.
@@ -140,6 +323,36 @@ fn healthz() -> Response {
         json::object([
             json::key("status") + &json::string("ok"),
             json::key("suite") + &json::array(SUITE_NAMES.iter().map(|n| json::string(n))),
+        ]),
+    )
+}
+
+/// `git describe --always --dirty` at first use; `"unknown"` when git
+/// or the work tree is unavailable (e.g. a deployed binary).
+fn git_describe() -> &'static str {
+    static GIT: OnceLock<String> = OnceLock::new();
+    GIT.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+fn version() -> Response {
+    Response::json(
+        200,
+        json::object([
+            json::key("generator_version")
+                + &num_u64(u64::from(leakage_workloads::GENERATOR_VERSION)),
+            json::key("format_version")
+                + &num_u64(u64::from(leakage_experiments::codec::FORMAT_VERSION)),
+            json::key("git") + &json::string(git_describe()),
         ]),
     )
 }
@@ -206,7 +419,7 @@ fn profile(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
             return Response::error(400, &format!("unknown hierarchy {other:?}: only \"alpha\""))
         }
     }
-    match ctx.store.try_fetch(benchmark, scale) {
+    match ctx.front.fetch(benchmark, scale) {
         Ok(profile) => Response::json(
             200,
             json::object([
@@ -365,12 +578,14 @@ fn sweep(request: &Request, ctx: &RouteContext) -> Response {
         Err(response) => return response,
     };
     // All points validated; fan the batch out over the rayon pool.
-    // Each point hits the memoized store, so the per-benchmark
-    // simulation cost is paid at most once across the whole batch.
+    // Profiles come through the striped front (so a hot benchmark is
+    // an uncontended read), and the store behind it memoizes, so the
+    // per-benchmark simulation cost is paid at most once per process.
     let results: Vec<Result<String, QueryError>> = points
         .par_iter()
         .map(|point| {
-            let savings = query::sweep_point(ctx.store, scale, point)?;
+            let profile = ctx.front.fetch(&point.benchmark, scale)?;
+            let savings = query::sweep_point_profile(&profile, point);
             Ok(json::object([
                 json::key("benchmark") + &json::string(&point.benchmark),
                 json::key("side") + &json::string(side_token(point.side)),
@@ -401,16 +616,24 @@ fn sweep(request: &Request, ctx: &RouteContext) -> Response {
 mod tests {
     use super::*;
 
-    fn ctx() -> RouteContext {
+    fn ctx_with_catalog(preserialize: bool) -> RouteContext {
         RouteContext {
             store: ProfileStore::global(),
-            cache: Arc::new(ResponseCache::new(16)),
+            front: Arc::new(StoreFront::new(ProfileStore::global(), 8)),
+            cache: Arc::new(ResponseCache::new(16, 1)),
+            catalog: Arc::new(ArtifactCatalog::new(preserialize, Scale::Test)),
             sim_limit: Arc::new(Semaphore::new(4)),
             sweep_limit: Arc::new(Semaphore::new(2)),
             default_scale: Scale::Test,
             limit_wait: Duration::from_millis(200),
             retry_after_secs: 1,
+            metrics: HotMetrics::resolve(),
         }
+    }
+
+    /// Catalog off, so tests exercise the LRU-cache tier.
+    fn ctx() -> RouteContext {
+        ctx_with_catalog(false)
     }
 
     fn get(path: &str, query: &[(&str, &str)]) -> Request {
@@ -422,13 +645,19 @@ mod tests {
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
             body: Vec::new(),
+            close: false,
         }
+    }
+
+    fn body_text(wire: &WireResponse) -> String {
+        String::from_utf8_lossy(wire.body()).into_owned()
     }
 
     #[test]
     fn routes_resolve_names() {
         assert_eq!(route_name(&get("/healthz", &[])), "healthz");
         assert_eq!(route_name(&get("/metrics", &[])), "metrics");
+        assert_eq!(route_name(&get("/v1/version", &[])), "version");
         assert_eq!(route_name(&get("/v1/profile/gzip", &[])), "profile");
         assert_eq!(route_name(&get("/v1/table/2", &[])), "table");
         assert_eq!(route_name(&get("/v1/figure/8", &[])), "figure");
@@ -440,20 +669,38 @@ mod tests {
     fn healthz_and_errors() {
         let ctx = ctx();
         let ok = handle(&get("/healthz", &[]), &ctx);
-        assert_eq!(ok.status, 200);
-        assert!(String::from_utf8_lossy(&ok.body).contains("\"ok\""));
-        assert_eq!(handle(&get("/nope", &[]), &ctx).status, 404);
+        assert_eq!(ok.status(), 200);
+        assert!(body_text(&ok).contains("\"ok\""));
+        assert_eq!(handle(&get("/nope", &[]), &ctx).status(), 404);
         let mut post = get("/healthz", &[]);
         post.method = "POST".into();
-        assert_eq!(handle(&post, &ctx).status, 405);
+        assert_eq!(handle(&post, &ctx).status(), 405);
+    }
+
+    #[test]
+    fn version_route_serves_canonical_json() {
+        let ctx = ctx();
+        let ok = handle(&get("/v1/version", &[]), &ctx);
+        assert_eq!(ok.status(), 200);
+        let doc = json::parse(&body_text(&ok)).unwrap();
+        assert_eq!(
+            doc.get("generator_version").and_then(Json::as_f64),
+            Some(f64::from(leakage_workloads::GENERATOR_VERSION))
+        );
+        assert_eq!(
+            doc.get("format_version").and_then(Json::as_f64),
+            Some(f64::from(leakage_experiments::codec::FORMAT_VERSION))
+        );
+        let git = doc.get("git").and_then(Json::as_str).expect("git field");
+        assert!(!git.is_empty());
     }
 
     #[test]
     fn table_served_json_matches_batch_generator() {
         let ctx = ctx();
         let response = handle(&get("/v1/table/2", &[("scale", "test")]), &ctx);
-        assert_eq!(response.status, 200);
-        let served = Table::from_json(&String::from_utf8(response.body).unwrap()).unwrap();
+        assert_eq!(response.status(), 200);
+        let served = Table::from_json(&body_text(&response)).unwrap();
         let batch = query::table(ctx.store, 2, Scale::Test).unwrap();
         assert_eq!(served, batch);
     }
@@ -462,23 +709,19 @@ mod tests {
     fn table_csv_and_bad_queries() {
         let ctx = ctx();
         let csv = handle(&get("/v1/table/1", &[("format", "csv")]), &ctx);
-        assert_eq!(csv.status, 200);
-        assert_eq!(csv.content_type, "text/csv");
-        assert_eq!(handle(&get("/v1/table/9", &[]), &ctx).status, 404);
+        assert_eq!(csv.status(), 200);
+        assert!(String::from_utf8_lossy(&csv.to_bytes(false)).contains("Content-Type: text/csv"));
+        assert_eq!(handle(&get("/v1/table/9", &[]), &ctx).status(), 404);
         assert_eq!(
-            handle(&get("/v1/table/1", &[("format", "xml")]), &ctx).status,
+            handle(&get("/v1/table/1", &[("format", "xml")]), &ctx).status(),
             400
         );
         assert_eq!(
-            handle(&get("/v1/table/1", &[("scale", "huge")]), &ctx).status,
+            handle(&get("/v1/table/1", &[("scale", "huge")]), &ctx).status(),
             400
         );
         assert_eq!(
-            handle(
-                &get("/v1/table/1", &[("scale", "99999999999")]),
-                &ctx
-            )
-            .status,
+            handle(&get("/v1/table/1", &[("scale", "99999999999")]), &ctx).status(),
             400,
             "custom scales above the cap are rejected"
         );
@@ -488,8 +731,8 @@ mod tests {
     fn profile_route_serves_summary() {
         let ctx = ctx();
         let ok = handle(&get("/v1/profile/gzip", &[("scale", "test")]), &ctx);
-        assert_eq!(ok.status, 200);
-        let doc = json::parse(&String::from_utf8(ok.body).unwrap()).unwrap();
+        assert_eq!(ok.status(), 200);
+        let doc = json::parse(&body_text(&ok)).unwrap();
         assert_eq!(doc.get("benchmark").and_then(Json::as_str), Some("gzip"));
         assert_eq!(
             doc.get("scale_cycles").and_then(Json::as_f64),
@@ -500,9 +743,10 @@ mod tests {
                 .and_then(|side| side.get("covers_timeline")),
             Some(&Json::Bool(true))
         );
-        assert_eq!(handle(&get("/v1/profile/perlbmk", &[]), &ctx).status, 404);
+        assert!(!ctx.front.is_empty(), "profile went through the store front");
+        assert_eq!(handle(&get("/v1/profile/perlbmk", &[]), &ctx).status(), 404);
         assert_eq!(
-            handle(&get("/v1/profile/gzip", &[("hierarchy", "mips")]), &ctx).status,
+            handle(&get("/v1/profile/gzip", &[("hierarchy", "mips")]), &ctx).status(),
             400
         );
     }
@@ -519,10 +763,11 @@ mod tests {
             path: "/v1/sweep".into(),
             query: Vec::new(),
             body: body.as_bytes().to_vec(),
+            close: false,
         };
         let response = handle(&request, &ctx);
-        assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
-        let doc = json::parse(&String::from_utf8(response.body).unwrap()).unwrap();
+        assert_eq!(response.status(), 200, "{}", body_text(&response));
+        let doc = json::parse(&body_text(&response)).unwrap();
         let results = doc.get("results").and_then(Json::as_array).unwrap();
         assert_eq!(results.len(), 2);
         let first = &results[0];
@@ -540,7 +785,7 @@ mod tests {
         ] {
             let mut request = request.clone();
             request.body = bad.as_bytes().to_vec();
-            let status = handle(&request, &ctx).status;
+            let status = handle(&request, &ctx).status();
             assert_eq!(status, 400, "{bad}");
         }
     }
@@ -549,12 +794,43 @@ mod tests {
     fn cache_serves_second_read() {
         let ctx = ctx();
         let request = get("/v1/table/1", &[]);
-        assert_eq!(handle(&request, &ctx).status, 200);
+        assert_eq!(handle(&request, &ctx).status(), 200);
         assert_eq!(ctx.cache.len(), 1);
         // Second read is a cache hit: same bytes, still one entry.
         let again = handle(&request, &ctx);
-        assert_eq!(again.status, 200);
+        assert_eq!(again.status(), 200);
         assert_eq!(ctx.cache.len(), 1);
+        assert_eq!(ctx.cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn catalog_preserializes_default_scale_artifacts() {
+        let ctx = ctx_with_catalog(true);
+        let request = get("/v1/table/1", &[]);
+        let first = handle(&request, &ctx);
+        assert_eq!(first.status(), 200);
+        assert_eq!(ctx.catalog.len(), 1, "went to the catalog tier");
+        assert!(ctx.cache.is_empty(), "catalog space bypasses the LRU");
+        let again = handle(&request, &ctx);
+        assert_eq!(again.body(), first.body(), "byte-identical catalog hit");
+        // A non-default scale is outside the catalog space.
+        let custom = get("/v1/table/1", &[("scale", "12345")]);
+        assert_eq!(handle(&custom, &ctx).status(), 200);
+        assert_eq!(ctx.catalog.len(), 1);
+        assert_eq!(ctx.cache.len(), 1, "custom scale lands in the LRU");
+    }
+
+    #[test]
+    fn warm_catalog_fills_the_finite_space() {
+        let ctx = ctx_with_catalog(true);
+        warm_catalog(&ctx);
+        // healthz + version + 6 artifacts × 3 query variants.
+        assert_eq!(ctx.catalog.len(), 2 + 6 * 3);
+        // The warmed entry and a fresh compute agree byte-for-byte.
+        let request = get("/v1/table/2", &[]);
+        let catalog_hit = handle(&request, &ctx).to_bytes(true);
+        let fresh = handle(&request, &ctx_with_catalog(false)).to_bytes(true);
+        assert_eq!(catalog_hit, fresh);
     }
 
     #[test]
@@ -568,10 +844,10 @@ mod tests {
         let response = handle(&get("/v1/figure/7", &[]), &ctx);
         let plane = std::sync::Arc::try_unwrap(previous).unwrap_or_default();
         leakage_faults::set_plane(plane);
-        assert_eq!(response.status, 500);
-        assert!(String::from_utf8_lossy(&response.body).contains("panicked"));
+        assert_eq!(response.status(), 500);
+        assert!(body_text(&response).contains("panicked"));
         assert!(ctx.cache.is_empty(), "500s are never cached");
         // With the plane restored, the same route serves normally.
-        assert_eq!(handle(&get("/v1/figure/7", &[]), &ctx).status, 200);
+        assert_eq!(handle(&get("/v1/figure/7", &[]), &ctx).status(), 200);
     }
 }

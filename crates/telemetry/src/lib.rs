@@ -50,6 +50,7 @@ pub use log::{log_enabled, set_log_level, Level};
 pub use manifest::RunManifest;
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    StripedCounter, COUNTER_STRIPES,
 };
 pub use prom::prometheus_text;
 pub use span::{current_path, span, span_under, span_report, span_tree, SpanGuard, SpanNode, SpanStat};

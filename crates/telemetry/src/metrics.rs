@@ -35,6 +35,76 @@ impl Counter {
     }
 }
 
+/// How many cache-line-padded stripes a [`StripedCounter`] spreads
+/// its increments across.
+pub const COUNTER_STRIPES: usize = 8;
+
+/// One cache line's worth of counter, so neighbouring stripes never
+/// share a line (no false sharing between writer threads).
+#[derive(Default)]
+#[repr(align(64))]
+struct Stripe {
+    value: AtomicU64,
+}
+
+/// A write-scalable counter: increments land on a per-thread stripe
+/// (each on its own cache line), reads sum the stripes.
+///
+/// Use it for counters bumped on every request from many threads at
+/// once — a plain [`Counter`] serializes those threads on one cache
+/// line. Reads are O([`COUNTER_STRIPES`]) and relaxed, which is fine
+/// for metrics: exact once writers quiesce, monotone always.
+#[derive(Default)]
+pub struct StripedCounter {
+    stripes: [Stripe; COUNTER_STRIPES],
+}
+
+impl StripedCounter {
+    /// A fresh, unregistered striped counter at zero. Use
+    /// [`Registry::striped_counter`] for registered ones.
+    pub fn new() -> Self {
+        StripedCounter::default()
+    }
+
+    /// The stripe index for the calling thread: assigned round-robin
+    /// on first use and cached in a thread-local, so a thread always
+    /// hits the same line.
+    fn stripe(&self) -> &AtomicU64 {
+        use std::cell::Cell;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        thread_local! {
+            static INDEX: Cell<usize> = Cell::new(usize::MAX);
+        }
+        let index = INDEX.with(|slot| {
+            let mut index = slot.get();
+            if index == usize::MAX {
+                index = (NEXT.fetch_add(1, Ordering::Relaxed) as usize) % COUNTER_STRIPES;
+                slot.set(index);
+            }
+            index
+        });
+        &self.stripes[index].value
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.stripe().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value: the sum over all stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
 /// A last-write-wins (or running-maximum) gauge.
 #[derive(Debug, Default)]
 pub struct Gauge {
@@ -188,6 +258,7 @@ pub struct MetricsSnapshot {
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    striped: Mutex<BTreeMap<String, Arc<StripedCounter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
@@ -203,6 +274,15 @@ impl Registry {
     /// same counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The striped counter named `name`, created on first use. Lives
+    /// in its own namespace map but is reported alongside plain
+    /// counters in [`Registry::snapshot`] — don't register the same
+    /// name as both kinds (the snapshot would carry it twice).
+    pub fn striped_counter(&self, name: &str) -> Arc<StripedCounter> {
+        let mut map = self.striped.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
@@ -223,16 +303,27 @@ impl Registry {
         )
     }
 
-    /// Snapshot of every registered metric, sorted by name.
+    /// Snapshot of every registered metric, sorted by name. Striped
+    /// counters are summed and merged into the plain-counter list, so
+    /// exporters need not know which flavor a call site picked.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            counters: self
-                .counters
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        counters.extend(
+            self.striped
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .iter()
-                .map(|(name, c)| (name.clone(), c.get()))
-                .collect(),
+                .map(|(name, c)| (name.clone(), c.get())),
+        );
+        counters.sort();
+        MetricsSnapshot {
+            counters,
             gauges: self
                 .gauges
                 .lock()
@@ -267,6 +358,18 @@ macro_rules! counter {
         static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
             ::std::sync::OnceLock::new();
         &**HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Like [`counter!`] for [`StripedCounter`]s — the flavor for
+/// counters bumped on every request from many threads:
+/// `striped_counter!("server_requests_total").inc()`.
+#[macro_export]
+macro_rules! striped_counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::StripedCounter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::registry().striped_counter($name))
     }};
 }
 
@@ -345,6 +448,45 @@ mod tests {
         assert_eq!(
             snap.counters,
             vec![("abc".to_string(), 2), ("zed".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn striped_counter_sums_across_threads() {
+        let registry = Registry::new();
+        let striped = registry.striped_counter("s");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let striped = Arc::clone(&striped);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        striped.inc();
+                    }
+                    striped.add(5);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(striped.get(), 4 * 1005);
+        assert_eq!(registry.striped_counter("s").get(), 4 * 1005);
+    }
+
+    #[test]
+    fn snapshot_merges_striped_into_counters_sorted() {
+        let registry = Registry::new();
+        registry.counter("plain").add(1);
+        registry.striped_counter("a_striped").add(7);
+        registry.striped_counter("z_striped").add(9);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![
+                ("a_striped".to_string(), 7),
+                ("plain".to_string(), 1),
+                ("z_striped".to_string(), 9),
+            ]
         );
     }
 

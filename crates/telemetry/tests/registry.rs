@@ -22,6 +22,34 @@ fn concurrent_counter_increments_sum_exactly() {
     );
 }
 
+/// Striped counters lose no updates under a rayon fan-out and are
+/// visible through the merged snapshot (and hence the Prometheus
+/// exporter).
+#[test]
+fn concurrent_striped_counter_sums_exactly() {
+    const TASKS: usize = 64;
+    const PER_TASK: u64 = 1_000;
+    (0..TASKS).into_par_iter().for_each(|_| {
+        for _ in 0..PER_TASK {
+            telemetry::striped_counter!("registry_test_striped_total").inc();
+        }
+    });
+    assert_eq!(
+        telemetry::registry()
+            .striped_counter("registry_test_striped_total")
+            .get(),
+        TASKS as u64 * PER_TASK
+    );
+    let snap = telemetry::registry().snapshot();
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(name, v)| name == "registry_test_striped_total"
+                && *v == TASKS as u64 * PER_TASK),
+        "striped counter missing from merged snapshot"
+    );
+}
+
 /// Gauge `set_max` keeps the peak under parallel writers.
 #[test]
 fn gauge_set_max_tracks_peak_across_threads() {

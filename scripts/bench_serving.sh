@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Reproduces results/BENCH_serving_trajectory.json: the serving hot
+# path measured after each optimization step, on one machine, with the
+# same closed-loop workload throughout (the CI loadgen mix).
+#
+#   1. baseline        threaded transport, connection-per-request
+#                      loadgen, no sharding, no pre-serialization
+#                      (the PR-5 serving model)
+#   2. keepalive       same server, HTTP/1.1 keep-alive + pipelining
+#                      in the loadgen
+#   3. reactor         epoll reactor transport replaces
+#                      thread-per-admitted-connection
+#   4. sharding        lock-striped store front, sharded response
+#                      cache, striped counters (8 shards)
+#   5. preserialize    pre-serialized artifact catalog on (the
+#                      shipping default)
+#
+# Usage: scripts/bench_serving.sh [out.json]
+#   BENCH_SECONDS (default 5), BENCH_CONNECTIONS (default 4),
+#   BENCH_PIPELINE (default 8) tune the loadgen.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_serving_trajectory.json}"
+SECONDS_PER_STEP="${BENCH_SECONDS:-5}"
+CONNECTIONS="${BENCH_CONNECTIONS:-4}"
+PIPELINE="${BENCH_PIPELINE:-8}"
+MIX='/v1/table/2?scale=test:8,/healthz:1,/metrics:1'
+
+cargo build --release -p leakage-server --bins
+
+SERVER=./target/release/leakage-server
+LOADGEN=./target/release/loadgen
+WORK="$(mktemp -d)"
+trap 'kill $(cat "$WORK"/server.pid 2>/dev/null) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# run_step <name> "<server flags>" "<loadgen flags>"
+run_step() {
+  local name="$1" server_flags="$2" loadgen_flags="$3"
+  local log="$WORK/$name.log"
+
+  # shellcheck disable=SC2086  # flags are intentionally word-split
+  $SERVER --addr 127.0.0.1:0 --scale test $server_flags > "$log" 2>&1 &
+  echo $! > "$WORK/server.pid"
+  for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$log" && break
+    sleep 0.1
+  done
+  grep -q '^listening on ' "$log" || { cat "$log"; exit 1; }
+  local addr
+  addr=$(sed -n 's/^listening on //p' "$log" | head -n1)
+
+  # One warm-up pass so every step measures serving, not first-touch
+  # simulation of the profile suite.
+  curl -fsS "http://$addr/v1/table/2?scale=test" > /dev/null
+
+  # shellcheck disable=SC2086
+  $LOADGEN --addr "$addr" --connections "$CONNECTIONS" \
+    --seconds "$SECONDS_PER_STEP" --mix "$MIX" $loadgen_flags \
+    > "$WORK/$name.json"
+
+  kill "$(cat "$WORK/server.pid")" 2>/dev/null || true
+  wait "$(cat "$WORK/server.pid")" 2>/dev/null || true
+  rm -f "$WORK/server.pid"
+
+  python3 - "$name" "$server_flags" "$loadgen_flags" "$WORK/$name.json" <<'EOF'
+import json, sys
+name, server_flags, loadgen_flags, path = sys.argv[1:5]
+report = json.load(open(path))
+print('%-12s %9.0f req/s  p50 %6d us  p99 %6d us  errors %d'
+      % (name, report['throughput_rps'], report['p50_us'],
+         report['p99_us'], report['transport_errors']))
+EOF
+}
+
+run_step baseline    '--transport threaded --cache-shards 1 --no-preserialize' '--close'
+run_step keepalive   '--transport threaded --cache-shards 1 --no-preserialize' "--pipeline $PIPELINE"
+run_step reactor     '--transport reactor --cache-shards 1 --no-preserialize'  "--pipeline $PIPELINE"
+run_step sharding    '--transport reactor --cache-shards 8 --no-preserialize'  "--pipeline $PIPELINE"
+run_step preserialize '--transport reactor --cache-shards 8'                   "--pipeline $PIPELINE"
+
+python3 - "$WORK" "$OUT" "$SECONDS_PER_STEP" "$CONNECTIONS" "$PIPELINE" <<'EOF'
+import json, sys
+work, out, seconds, connections, pipeline = sys.argv[1:6]
+steps = [
+    ('baseline',
+     'threaded transport, connection-per-request load, unsharded, no catalog',
+     '--transport threaded --cache-shards 1 --no-preserialize', '--close'),
+    ('keepalive',
+     'HTTP/1.1 keep-alive + pipelining in the load generator',
+     '--transport threaded --cache-shards 1 --no-preserialize',
+     f'--pipeline {pipeline}'),
+    ('reactor',
+     'epoll reactor transport replaces thread-per-admitted-connection',
+     '--transport reactor --cache-shards 1 --no-preserialize',
+     f'--pipeline {pipeline}'),
+    ('sharding',
+     'lock-striped store front + sharded response cache + striped counters',
+     '--transport reactor --cache-shards 8 --no-preserialize',
+     f'--pipeline {pipeline}'),
+    ('preserialize',
+     'pre-serialized artifact catalog (shipping default)',
+     '--transport reactor --cache-shards 8', f'--pipeline {pipeline}'),
+]
+entries = []
+for name, description, server_flags, loadgen_flags in steps:
+    report = json.load(open(f'{work}/{name}.json'))
+    entries.append({
+        'step': name,
+        'description': description,
+        'server_flags': server_flags,
+        'loadgen_flags': (f'--connections {connections} --seconds {seconds} '
+                          + loadgen_flags),
+        'report': report,
+    })
+json.dump(entries, open(out, 'w'), indent=2)
+print(f'wrote {out}')
+base = entries[0]['report']['throughput_rps']
+final = entries[-1]['report']['throughput_rps']
+print('trajectory: %.0f -> %.0f req/s (%.1fx)' % (base, final, final / base))
+EOF

@@ -242,6 +242,7 @@ fn loadgen_smoke_reports_healthy_percentiles() {
         duration: Duration::from_secs(1),
         mix: vec![("/v1/table/2?scale=test".to_string(), 1)],
         timeout: CLIENT_TIMEOUT,
+        ..LoadgenConfig::default()
     })
     .expect("load run completes");
 
