@@ -4,6 +4,7 @@
 //! keep-alive bookkeeping (requests served, close fate, idle clock).
 
 use crate::http::{parse_request, BadRequest, Parse, Request};
+use crate::trace::{next_trace_id, us32, PendingRecord};
 use std::net::TcpStream;
 use std::time::Instant;
 
@@ -48,6 +49,16 @@ pub struct Connection {
     /// The peer closed its write half; no further requests can
     /// arrive, but buffered ones are still served.
     pub eof: bool,
+    /// Flight-recorder records for the batch being serialized,
+    /// published after the batch's socket write so they carry the
+    /// real write cost. Reused across batches (no per-request
+    /// allocation).
+    pub pending: Vec<PendingRecord>,
+    /// Serialize duration of the previous response on this
+    /// connection, reported in the next `Server-Timing` header.
+    pub last_serialize_us: u32,
+    /// Write duration of the previous flushed batch, likewise.
+    pub last_write_us: u32,
 }
 
 impl Connection {
@@ -62,6 +73,9 @@ impl Connection {
             last_activity: Instant::now(),
             close: false,
             eof: false,
+            pending: Vec::new(),
+            last_serialize_us: 0,
+            last_write_us: 0,
         }
     }
 
@@ -70,8 +84,9 @@ impl Connection {
     /// (`max_requests`, 0 = unlimited): the budget-exhausting request
     /// is still served, with `Connection: close` on its response.
     pub fn take_request(&mut self, max_requests: u32) -> Taken {
+        let parse_started = Instant::now();
         match parse_request(&self.buf) {
-            Parse::Complete { request, used } => {
+            Parse::Complete { mut request, used } => {
                 self.buf.drain(..used);
                 self.served += 1;
                 if max_requests != 0 && self.served >= max_requests {
@@ -80,6 +95,12 @@ impl Connection {
                 if request.close {
                     self.close = true;
                 }
+                if request.trace.id == 0 {
+                    request.trace.id = next_trace_id();
+                }
+                request.trace.req_bytes = u32::try_from(used).unwrap_or(u32::MAX);
+                request.trace.parse_us = us32(parse_started.elapsed());
+                request.trace.parsed_at = Instant::now();
                 Taken::Request(request)
             }
             Parse::Bad { bad, used } => {

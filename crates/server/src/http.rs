@@ -16,6 +16,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::trace::ReqTrace;
+
 /// Maximum size of the request line plus headers.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 
@@ -39,6 +41,9 @@ pub struct Request {
     /// this exchange (`Connection: close`, or HTTP/1.0 without
     /// `Connection: keep-alive`).
     pub close: bool,
+    /// Trace context: the id from `X-Request-Id` (0 until assigned)
+    /// plus parse-time stamps filled in by the connection layer.
+    pub trace: ReqTrace,
 }
 
 impl Request {
@@ -50,6 +55,7 @@ impl Request {
             query: Vec::new(),
             body: Vec::new(),
             close: false,
+            trace: ReqTrace::default(),
         }
     }
 
@@ -118,20 +124,38 @@ pub enum Parse {
     },
 }
 
+/// Finds the next `\n` at or after `from`, eight bytes per step
+/// (SWAR zero-byte trick). Both the request parser and the loadgen's
+/// response parser scan every wire byte through here, so the naive
+/// byte loop shows up directly as serving throughput.
+#[inline]
+fn find_newline(buf: &[u8], from: usize) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let needle = LO * u64::from(b'\n');
+    let mut i = from;
+    while i + 8 <= buf.len() {
+        let word = u64::from_le_bytes(buf[i..i + 8].try_into().expect("8-byte window"));
+        let x = word ^ needle;
+        let hit = x.wrapping_sub(LO) & !x & HI;
+        if hit != 0 {
+            return Some(i + hit.trailing_zeros() as usize / 8);
+        }
+        i += 8;
+    }
+    buf[i..].iter().position(|&b| b == b'\n').map(|p| i + p)
+}
+
 /// Finds the end of the header block: the index just past the first
 /// `\r\n\r\n` or `\n\n`.
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     let mut i = 0;
-    while i < buf.len() {
-        if buf[i] == b'\n' {
-            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
-                return Some(i + 2);
-            }
-            if buf[i..].starts_with(b"\n\r\n") {
-                return Some(i + 3);
-            }
+    while let Some(nl) = find_newline(buf, i) {
+        match buf.get(nl + 1) {
+            Some(b'\n') => return Some(nl + 2),
+            Some(b'\r') if buf.get(nl + 2) == Some(&b'\n') => return Some(nl + 3),
+            _ => i = nl + 1,
         }
-        i += 1;
     }
     None
 }
@@ -186,6 +210,7 @@ pub fn parse_request(buf: &[u8]) -> Parse {
 
     let mut content_length = 0usize;
     let mut close = http10;
+    let mut trace_id = 0u64;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -209,6 +234,8 @@ pub fn parse_request(buf: &[u8]) -> Parse {
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 close = false;
             }
+        } else if name.eq_ignore_ascii_case("x-request-id") {
+            trace_id = crate::trace::parse_trace_id(value);
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -253,6 +280,11 @@ pub fn parse_request(buf: &[u8]) -> Parse {
             query,
             body: buf[head_end..total].to_vec(),
             close,
+            trace: ReqTrace {
+                id: trace_id,
+                from_client: trace_id != 0,
+                ..ReqTrace::default()
+            },
         },
         used: total,
     }
@@ -440,13 +472,36 @@ impl WireResponse {
         &self.body
     }
 
+    /// Bytes in the rendered head (without the per-send `Connection`
+    /// header).
+    pub fn head_len(&self) -> usize {
+        self.head.len()
+    }
+
     /// Appends the full serialized response to `out`, choosing the
     /// `Connection` header per the connection's fate. Workers batch
     /// pipelined responses into one buffer this way and issue a
     /// single write.
     pub fn serialize_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
-        out.reserve(self.head.len() + 32 + self.body.len());
+        self.serialize_traced(out, keep_alive, |_| {});
+    }
+
+    /// [`Self::serialize_into`] with per-send headers: `extra` is
+    /// invoked between the shared pre-rendered head and the
+    /// `Connection` line, so request-scoped headers (`X-Request-Id`,
+    /// `Server-Timing`) can ride on cached/catalog responses without
+    /// touching the shared bytes.
+    pub fn serialize_traced(
+        &self,
+        out: &mut Vec<u8>,
+        keep_alive: bool,
+        extra: impl FnOnce(&mut Vec<u8>),
+    ) {
+        // Headroom covers the Connection line plus the ~200 bytes of
+        // per-request tracing headers `extra` may inject.
+        out.reserve(self.head.len() + 256 + self.body.len());
         out.extend_from_slice(self.head.as_bytes());
+        extra(out);
         out.extend_from_slice(if keep_alive {
             b"Connection: keep-alive\r\n\r\n" as &[u8]
         } else {
@@ -483,8 +538,12 @@ pub fn reason_phrase(status: u16) -> &'static str {
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
-    /// Response headers, lower-cased names.
-    pub headers: Vec<(String, String)>,
+    /// Raw header block (status line through the blank line). Headers
+    /// are scanned on demand by [`Self::header`] — the loadgen parses
+    /// tens of thousands of responses per second, and materializing a
+    /// `Vec<(String, String)>` per response costs more than every
+    /// lookup the callers actually make.
+    head: Vec<u8>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -492,11 +551,19 @@ pub struct ClientResponse {
 impl ClientResponse {
     /// The value of header `name` (case-insensitive), if present.
     pub fn header(&self, name: &str) -> Option<&str> {
-        let name = name.to_ascii_lowercase();
-        self.headers
-            .iter()
-            .find(|(k, _)| *k == name)
-            .map(|(_, v)| v.as_str())
+        let mut pos = find_newline(&self.head, 0).map_or(self.head.len(), |nl| nl + 1);
+        while pos < self.head.len() {
+            let nl = find_newline(&self.head, pos).unwrap_or(self.head.len());
+            let line = &self.head[pos..nl];
+            if let Some(colon) = line.iter().position(|&b| b == b':') {
+                if header_name_is(&line[..colon], name) {
+                    let value = std::str::from_utf8(&line[colon + 1..]).ok()?;
+                    return Some(value.trim());
+                }
+            }
+            pos = nl + 1;
+        }
+        None
     }
 
     /// The body as UTF-8 (lossy).
@@ -505,10 +572,21 @@ impl ClientResponse {
     }
 }
 
+/// Whether raw header-name bytes match `name` (ASCII
+/// case-insensitive, surrounding whitespace ignored).
+fn header_name_is(raw: &[u8], name: &str) -> bool {
+    let start = raw.iter().position(|b| !b.is_ascii_whitespace());
+    let Some(start) = start else { return false };
+    let end = raw.iter().rposition(|b| !b.is_ascii_whitespace()).map_or(0, |p| p + 1);
+    raw[start..end].eq_ignore_ascii_case(name.as_bytes())
+}
+
 /// Incrementally parses one response from the front of `buf`:
 /// `Some((response, used))` when complete, `None` when more bytes are
 /// needed. Requires `Content-Length` framing (which this server
-/// always provides).
+/// always provides). Works on raw bytes — the loadgen funnels every
+/// response through here, so there is no per-header allocation and no
+/// up-front UTF-8 pass over the (tracing-bearing) header block.
 ///
 /// # Errors
 ///
@@ -517,32 +595,35 @@ pub fn parse_response(buf: &[u8]) -> io::Result<Option<(ClientResponse, usize)>>
     let Some(head_end) = find_header_end(buf) else {
         return Ok(None);
     };
-    let text = String::from_utf8_lossy(&buf[..head_end]);
-    let mut lines = text.lines();
-    let status_line = lines.next().unwrap_or_default();
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad status line: {status_line:?}"),
-            )
-        })?;
-    let mut headers = Vec::new();
+    let head = &buf[..head_end];
+    let status_end = find_newline(head, 0).unwrap_or(head.len());
+    let status = parse_status_line(&head[..status_end]).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "bad status line: {:?}",
+                String::from_utf8_lossy(&head[..status_end])
+            ),
+        )
+    })?;
     let mut content_length = 0usize;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim().to_string();
-            if name == "content-length" {
-                content_length = value.parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
-                })?;
+    let mut pos = status_end + 1;
+    while pos < head.len() {
+        let nl = find_newline(head, pos).unwrap_or(head.len());
+        let line = &head[pos..nl];
+        // The colon scan stops at the (short) header name; values are
+        // only traversed by the 8-bytes-a-step newline search.
+        if let Some(colon) = line.iter().position(|&b| b == b':') {
+            if header_name_is(&line[..colon], "content-length") {
+                content_length = std::str::from_utf8(&line[colon + 1..])
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
             }
-            headers.push((name, value));
         }
+        pos = nl + 1;
     }
     let total = head_end + content_length;
     if buf.len() < total {
@@ -551,11 +632,19 @@ pub fn parse_response(buf: &[u8]) -> io::Result<Option<(ClientResponse, usize)>>
     Ok(Some((
         ClientResponse {
             status,
-            headers,
+            head: head.to_vec(),
             body: buf[head_end..total].to_vec(),
         },
         total,
     )))
+}
+
+/// Parses `HTTP/1.1 200 OK` → `200`.
+fn parse_status_line(line: &[u8]) -> Option<u16> {
+    let sp = line.iter().position(|&b| b == b' ')?;
+    let rest = &line[sp + 1..];
+    let end = rest.iter().position(|&b| b == b' ').unwrap_or(rest.len());
+    std::str::from_utf8(&rest[..end]).ok()?.trim().parse().ok()
 }
 
 /// A persistent keep-alive HTTP client over one connection: requests
@@ -565,6 +654,10 @@ pub fn parse_response(buf: &[u8]) -> io::Result<Option<(ClientResponse, usize)>>
 pub struct Client {
     stream: TcpStream,
     buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned responses. A
+    /// cursor instead of `drain` so peeling one response off a
+    /// pipelined burst does not memmove the rest of the burst.
+    pos: usize,
     addr: SocketAddr,
 }
 
@@ -582,6 +675,7 @@ impl Client {
         Ok(Client {
             stream,
             buf: Vec::new(),
+            pos: 0,
             addr,
         })
     }
@@ -591,13 +685,26 @@ impl Client {
         &self.stream
     }
 
-    /// Renders one keep-alive request into `out` (no I/O).
-    pub fn render_request(&self, out: &mut Vec<u8>, method: &str, target: &str, body: &[u8]) {
+    /// Renders one keep-alive request into `out` (no I/O). A
+    /// `trace_id` adds an `X-Request-Id` header, opting the request
+    /// into the server's `Server-Timing` attribution.
+    pub fn render_request(
+        &self,
+        out: &mut Vec<u8>,
+        method: &str,
+        target: &str,
+        trace_id: Option<u64>,
+        body: &[u8],
+    ) {
         out.extend_from_slice(method.as_bytes());
         out.extend_from_slice(b" ");
         out.extend_from_slice(target.as_bytes());
         out.extend_from_slice(b" HTTP/1.1\r\nHost: ");
         out.extend_from_slice(self.addr.to_string().as_bytes());
+        if let Some(id) = trace_id {
+            out.extend_from_slice(b"\r\nX-Request-Id: ");
+            crate::trace::push_u64(out, id);
+        }
         out.extend_from_slice(b"\r\nContent-Length: ");
         out.extend_from_slice(body.len().to_string().as_bytes());
         out.extend_from_slice(b"\r\n\r\n");
@@ -611,7 +718,7 @@ impl Client {
     /// Write failures.
     pub fn send(&mut self, method: &str, target: &str, body: Option<&[u8]>) -> io::Result<()> {
         let mut out = Vec::with_capacity(256);
-        self.render_request(&mut out, method, target, body.unwrap_or_default());
+        self.render_request(&mut out, method, target, None, body.unwrap_or_default());
         self.stream.write_all(&out)
     }
 
@@ -623,7 +730,22 @@ impl Client {
     pub fn send_pipelined(&mut self, targets: &[&str]) -> io::Result<()> {
         let mut out = Vec::with_capacity(128 * targets.len());
         for target in targets {
-            self.render_request(&mut out, "GET", target, b"");
+            self.render_request(&mut out, "GET", target, None, b"");
+        }
+        self.stream.write_all(&out)
+    }
+
+    /// [`Self::send_pipelined`] with an optional trace id per target
+    /// (the loadgen samples `Server-Timing` by attaching ids to a
+    /// subset of its requests).
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_pipelined_traced(&mut self, targets: &[(&str, Option<u64>)]) -> io::Result<()> {
+        let mut out = Vec::with_capacity(160 * targets.len());
+        for (target, trace_id) in targets {
+            self.render_request(&mut out, "GET", target, *trace_id, b"");
         }
         self.stream.write_all(&out)
     }
@@ -638,9 +760,18 @@ impl Client {
     pub fn recv(&mut self) -> io::Result<ClientResponse> {
         let mut chunk = [0u8; 16 * 1024];
         loop {
-            if let Some((response, used)) = parse_response(&self.buf)? {
-                self.buf.drain(..used);
+            if let Some((response, used)) = parse_response(&self.buf[self.pos..])? {
+                self.pos += used;
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
                 return Ok(response);
+            }
+            // Only a response that straddles reads pays the compact.
+            if self.pos > 0 {
+                self.buf.drain(..self.pos);
+                self.pos = 0;
             }
             match self.stream.read(&mut chunk)? {
                 0 => {
@@ -683,12 +814,30 @@ pub fn fetch(
     body: Option<&[u8]>,
     timeout: Duration,
 ) -> io::Result<ClientResponse> {
+    fetch_traced(addr, method, target, None, body, timeout)
+}
+
+/// [`fetch`] with an optional `X-Request-Id` trace id, opting the
+/// request into the server's `Server-Timing` attribution.
+///
+/// # Errors
+///
+/// Connect/read/write failures and timeouts.
+pub fn fetch_traced(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    trace_id: Option<u64>,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let body = body.unwrap_or_default();
+    let id_line = trace_id.map_or(String::new(), |id| format!("X-Request-Id: {id}\r\n"));
     let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\n{id_line}Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -733,6 +882,7 @@ mod tests {
             query: vec![("scale".into(), "test".into()), ("format".into(), "csv".into())],
             body: Vec::new(),
             close: false,
+            trace: ReqTrace::default(),
         };
         assert_eq!(req.canonical_key(), "GET /v1/table/2?format=csv&scale=test");
         let flipped = Request {
@@ -784,6 +934,21 @@ mod tests {
             panic!()
         };
         assert!(!request.close);
+    }
+
+    #[test]
+    fn x_request_id_header_becomes_the_trace_id() {
+        let wire = b"GET / HTTP/1.1\r\nX-Request-ID: 424242\r\n\r\n";
+        let Parse::Complete { request, .. } = parse_request(wire) else {
+            panic!()
+        };
+        assert_eq!(request.trace.id, 424242);
+
+        let wire = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+        let Parse::Complete { request, .. } = parse_request(wire) else {
+            panic!()
+        };
+        assert_eq!(request.trace.id, 0, "unassigned until the connection layer");
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   GET  /v1/table/{1,2,3}?format=json|csv paper tables on demand
 //!   GET  /v1/figure/{7,8,9}?format=..      paper figure pairs
 //!   POST /v1/sweep                         batched Fig. 6 model points
+//!   GET  /debug/requests?n=&route=&min_us= flight-recorder ring dump
+//!   GET  /debug/slow                       slowest + errored requests
+//!   GET  /debug/stats                      rolling 10 s per-route stats
 //! ```
 //!
 //! Production behaviors, all dependency-free on `std::net`:
@@ -40,6 +43,12 @@
 //! - **Telemetry**: per-route request counters, latency histograms,
 //!   and an in-flight gauge in the shared registry, served back out
 //!   through `/metrics`.
+//! - **Request tracing**: every request carries a `u64` trace id
+//!   (honouring `X-Request-Id`) through transport → queue → worker →
+//!   handler, echoed back with a per-stage `Server-Timing` header
+//!   ([`trace`]); completed requests land in a lock-free flight
+//!   recorder served by `/debug/*` — exempt from admission shedding,
+//!   so the observability plane stays reachable under overload.
 //!
 //! The [`loadgen`] module (and `loadgen` binary) is the closed-loop
 //! measurement harness: keep-alive connections, optional pipelining,
@@ -60,6 +69,7 @@ pub mod respcache;
 pub mod routes;
 pub mod signal;
 pub mod storefront;
+pub mod trace;
 
 pub use http::{fetch, Client, ClientResponse, Request, Response, WireResponse};
 pub use loadgen::{LoadgenConfig, LoadReport};

@@ -15,7 +15,7 @@
 //! linearly between order statistics instead of nearest-rank, so
 //! small samples don't quantize.
 
-use crate::http::{fetch, Client, ClientResponse};
+use crate::http::{fetch_traced, Client};
 use leakage_telemetry::json;
 use std::io;
 use std::net::SocketAddr;
@@ -90,6 +90,74 @@ pub struct LoadReport {
     /// Reconnects after the first connection per thread (server-side
     /// closes, request budgets, transport errors).
     pub reconnects: u64,
+    /// Server-side latency attribution distilled from `Server-Timing`
+    /// response headers, one entry per stage the server reported.
+    pub server_stages: Vec<StageSummary>,
+}
+
+/// Stage labels in the server's `Server-Timing` header, in the order
+/// the serving path runs them.
+pub const TIMING_STAGES: [&str; 7] = [
+    "parse", "queue", "permit", "handler", "store", "serialize", "write",
+];
+
+/// One stage's latency summary across every response that reported it.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// Stage label (one of [`TIMING_STAGES`]).
+    pub stage: &'static str,
+    /// Responses that carried this stage.
+    pub count: u64,
+    /// Mean stage latency, microseconds.
+    pub mean_us: f64,
+    /// Interpolated 99th-percentile stage latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// Requests between `Server-Timing` samples on each loadgen thread.
+/// `Server-Timing` is opt-in per request (the server attributes
+/// responses whose request carried an `X-Request-Id`), so the loadgen
+/// attaches an id to every Nth request: stage statistics still see
+/// thousands of samples per run, while the measured workload stays
+/// representative of ordinary (untraced) clients.
+const TIMING_SAMPLE_EVERY: u64 = 8;
+
+/// `dur=` milliseconds → whole microseconds. Fast path for the
+/// server's canonical `M.FFF` rendering (pure integer math — `f64`
+/// parsing is measurably expensive on the closed loop); any other
+/// shape falls back to a float parse.
+fn dur_ms_to_us(ms: &str) -> Option<u64> {
+    if let Some((whole, frac)) = ms.split_once('.') {
+        if frac.len() == 3 && frac.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(whole) = whole.parse::<u64>() {
+                let frac: u64 = frac
+                    .bytes()
+                    .fold(0, |acc, b| acc * 10 + u64::from(b - b'0'));
+                return Some(whole * 1000 + frac);
+            }
+        }
+    }
+    ms.parse::<f64>().ok().map(|v| (v * 1000.0).round() as u64)
+}
+
+/// Accumulates `Server-Timing` durations (converted to µs) into the
+/// per-stage sample vectors. Unknown stage names are ignored so the
+/// loadgen keeps working against servers that add stages.
+fn parse_server_timing(header: &str, stage_us: &mut [Vec<u64>; 7]) {
+    for entry in header.split(',') {
+        let mut parts = entry.trim().split(';');
+        let Some(name) = parts.next() else { continue };
+        let Some(index) = TIMING_STAGES.iter().position(|s| *s == name.trim()) else {
+            continue;
+        };
+        for attr in parts {
+            if let Some(ms) = attr.trim().strip_prefix("dur=") {
+                if let Some(us) = dur_ms_to_us(ms) {
+                    stage_us[index].push(us);
+                }
+            }
+        }
+    }
 }
 
 impl LoadReport {
@@ -111,6 +179,15 @@ impl LoadReport {
             json::key("max_us") + &num_u(self.max_us),
             json::key("connections_opened") + &num_u(self.connections_opened),
             json::key("reconnects") + &num_u(self.reconnects),
+            json::key("server_stages")
+                + &json::object(self.server_stages.iter().map(|s| {
+                    json::key(s.stage)
+                        + &json::object([
+                            json::key("count") + &num_u(s.count),
+                            json::key("mean_us") + &format!("{:.1}", s.mean_us),
+                            json::key("p99_us") + &num_u(s.p99_us),
+                        ])
+                })),
         ])
     }
 }
@@ -132,6 +209,7 @@ fn schedule(mix: &[(String, u32)]) -> Vec<String> {
 #[derive(Default)]
 struct ThreadStats {
     latencies_us: Vec<u64>,
+    stage_us: [Vec<u64>; 7],
     status_2xx: u64,
     status_4xx: u64,
     status_5xx: u64,
@@ -156,20 +234,40 @@ fn drive_closing(config: &LoadgenConfig, offset: usize, deadline: Instant) -> Th
     let paths = schedule(&config.mix);
     let mut stats = ThreadStats::default();
     let mut cursor = offset % paths.len();
+    let mut sent: u64 = 0;
     while Instant::now() < deadline {
         let path = &paths[cursor];
         cursor = (cursor + 1) % paths.len();
+        let trace_id = sample_trace_id(offset, &mut sent);
         let started = Instant::now();
         stats.connections_opened += 1;
-        match fetch(config.addr, "GET", path, None, config.timeout) {
-            Ok(ClientResponse { status, .. }) => {
+        match fetch_traced(config.addr, "GET", path, trace_id, None, config.timeout) {
+            Ok(response) => {
                 let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-                stats.count(status, micros);
+                stats.count(response.status, micros);
+                if trace_id.is_some() {
+                    if let Some(timing) = response.header("server-timing") {
+                        parse_server_timing(timing, &mut stats.stage_us);
+                    }
+                }
             }
             Err(_) => stats.transport_errors += 1,
         }
     }
     stats
+}
+
+/// Yields `Some(id)` on every [`TIMING_SAMPLE_EVERY`]th request of a
+/// loadgen thread (and the first, so short runs still sample),
+/// deriving an id unique across threads from the thread offset.
+fn sample_trace_id(offset: usize, sent: &mut u64) -> Option<u64> {
+    let n = *sent;
+    *sent += 1;
+    if n % TIMING_SAMPLE_EVERY == 0 {
+        Some(((offset as u64 + 1) << 40) | (n + 1))
+    } else {
+        None
+    }
 }
 
 /// Keep-alive (optionally pipelined) driver. Reconnects when the
@@ -181,6 +279,7 @@ fn drive_keepalive(config: &LoadgenConfig, offset: usize, deadline: Instant) -> 
     let batch = config.pipeline.max(1);
     let mut stats = ThreadStats::default();
     let mut cursor = offset % paths.len();
+    let mut requests_sent: u64 = 0;
     let mut client: Option<Client> = None;
 
     while Instant::now() < deadline {
@@ -202,13 +301,18 @@ fn drive_keepalive(config: &LoadgenConfig, offset: usize, deadline: Instant) -> 
         }
         let conn = client.as_mut().expect("connected above");
 
-        let targets: Vec<&str> = (0..batch)
-            .map(|i| paths[(cursor + i) % paths.len()].as_str())
+        let targets: Vec<(&str, Option<u64>)> = (0..batch)
+            .map(|i| {
+                (
+                    paths[(cursor + i) % paths.len()].as_str(),
+                    sample_trace_id(offset, &mut requests_sent),
+                )
+            })
             .collect();
         cursor = (cursor + batch) % paths.len();
 
         let sent = Instant::now();
-        if conn.send_pipelined(&targets).is_err() {
+        if conn.send_pipelined_traced(&targets).is_err() {
             stats.transport_errors += 1;
             client = None;
             continue;
@@ -219,6 +323,11 @@ fn drive_keepalive(config: &LoadgenConfig, offset: usize, deadline: Instant) -> 
                 Ok(response) => {
                     let micros = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
                     stats.count(response.status, micros);
+                    if targets[answered].1.is_some() {
+                        if let Some(timing) = response.header("server-timing") {
+                            parse_server_timing(timing, &mut stats.stage_us);
+                        }
+                    }
                     if response
                         .header("connection")
                         .is_some_and(|v| v.eq_ignore_ascii_case("close"))
@@ -295,6 +404,9 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     for handle in handles {
         if let Ok(stats) = handle.join() {
             latencies.extend(stats.latencies_us);
+            for (merged, thread) in totals.stage_us.iter_mut().zip(stats.stage_us) {
+                merged.extend(thread);
+            }
             totals.status_2xx += stats.status_2xx;
             totals.status_4xx += stats.status_4xx;
             totals.status_5xx += stats.status_5xx;
@@ -306,6 +418,21 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     latencies.sort_unstable();
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     let requests = latencies.len() as u64;
+    let server_stages = TIMING_STAGES
+        .iter()
+        .zip(totals.stage_us.iter_mut())
+        .filter(|(_, samples)| !samples.is_empty())
+        .map(|(stage, samples)| {
+            samples.sort_unstable();
+            let sum: u64 = samples.iter().sum();
+            StageSummary {
+                stage,
+                count: samples.len() as u64,
+                mean_us: sum as f64 / samples.len() as f64,
+                p99_us: percentile(samples, 0.99),
+            }
+        })
+        .collect();
     Ok(LoadReport {
         requests,
         status_2xx: totals.status_2xx,
@@ -320,6 +447,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         max_us: latencies.last().copied().unwrap_or(0),
         connections_opened: totals.connections_opened,
         reconnects: totals.reconnects,
+        server_stages,
     })
 }
 
@@ -388,6 +516,12 @@ mod tests {
             max_us: 350,
             connections_opened: 4,
             reconnects: 0,
+            server_stages: vec![StageSummary {
+                stage: "handler",
+                count: 10,
+                mean_us: 42.5,
+                p99_us: 80,
+            }],
         };
         let doc = leakage_telemetry::json::parse(&report.to_json()).unwrap();
         assert_eq!(doc.get("requests").and_then(|v| v.as_f64()), Some(10.0));
@@ -398,5 +532,31 @@ mod tests {
             doc.get("connections_opened").and_then(|v| v.as_f64()),
             Some(4.0)
         );
+        let handler = doc
+            .get("server_stages")
+            .and_then(|v| v.get("handler"))
+            .expect("handler stage");
+        assert_eq!(handler.get("count").and_then(|v| v.as_f64()), Some(10.0));
+        assert_eq!(handler.get("p99_us").and_then(|v| v.as_f64()), Some(80.0));
+    }
+
+    #[test]
+    fn server_timing_header_parses_to_stage_micros() {
+        let mut stage_us: [Vec<u64>; 7] = Default::default();
+        parse_server_timing(
+            "parse;dur=0.012, queue;dur=1.500, permit;dur=0.000, handler;dur=2.345, \
+             store;dur=2.000, serialize;dur=0.050, write;dur=0.125",
+            &mut stage_us,
+        );
+        assert_eq!(stage_us[0], vec![12], "parse 0.012ms -> 12us");
+        assert_eq!(stage_us[1], vec![1500]);
+        assert_eq!(stage_us[2], vec![0]);
+        assert_eq!(stage_us[3], vec![2345]);
+        assert_eq!(stage_us[6], vec![125]);
+        // Unknown stages and malformed entries are skipped, known ones
+        // still accumulate.
+        parse_server_timing("db;dur=9.9, queue;dur=bogus, write;dur=0.001", &mut stage_us);
+        assert_eq!(stage_us[1], vec![1500], "bogus duration ignored");
+        assert_eq!(stage_us[6], vec![125, 1]);
     }
 }

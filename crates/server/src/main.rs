@@ -13,7 +13,8 @@ fn usage() -> ! {
          \x20                  [--cache-entries N] [--sim-concurrency N] [--sweep-concurrency N]\n\
          \x20                  [--transport reactor|threaded] [--idle-timeout-ms MS]\n\
          \x20                  [--max-requests-per-conn N] [--max-connections N]\n\
-         \x20                  [--pipeline-batch N] [--cache-shards N] [--no-preserialize]"
+         \x20                  [--pipeline-batch N] [--cache-shards N] [--no-preserialize]\n\
+         \x20                  [--no-recorder] [--recorder-cap N]"
     );
     std::process::exit(2);
 }
@@ -65,6 +66,10 @@ fn parse_config() -> ServerConfig {
                 config.cache_shards = value().parse().unwrap_or_else(|_| usage());
             }
             "--no-preserialize" => config.preserialize = false,
+            "--no-recorder" => config.recorder = false,
+            "--recorder-cap" => {
+                config.recorder_cap = value().parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }

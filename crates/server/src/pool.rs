@@ -23,10 +23,11 @@ use crate::conn::{Connection, Taken};
 use crate::http::{read_request, Request, Response};
 use crate::limit::Semaphore;
 use crate::respcache::ResponseCache;
-use crate::routes::{self, RouteContext};
+use crate::routes::{self, RouteContext, ServerInfo};
 use crate::storefront::StoreFront;
+use crate::trace::{us32, PendingRecord, StageTrace, TimingHeader};
 use leakage_experiments::ProfileStore;
-use leakage_telemetry::registry;
+use leakage_telemetry::{registry, FlightRecorder, RequestRecord, FLAG_SHED};
 use leakage_workloads::Scale;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -109,6 +110,13 @@ pub struct ServerConfig {
     /// Open connections the reactor will hold before shedding new
     /// accepts.
     pub max_connections: usize,
+    /// Request tracing: flight recorder + `X-Request-Id` /
+    /// `Server-Timing` response headers (`--no-recorder` disables for
+    /// A/B overhead measurement).
+    pub recorder: bool,
+    /// Flight-recorder ring capacity; 0 means `LEAKAGE_RECORDER_CAP`
+    /// or the built-in default.
+    pub recorder_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +139,8 @@ impl Default for ServerConfig {
             cache_shards: 8,
             preserialize: true,
             max_connections: 1024,
+            recorder: true,
+            recorder_cap: 0,
         }
     }
 }
@@ -273,6 +283,18 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shards = config.cache_shards.max(1);
+        let transport = match config.transport {
+            Transport::Reactor if cfg!(target_os = "linux") => Transport::Reactor,
+            _ => Transport::Threaded,
+        };
+        let recorder = config.recorder.then(|| {
+            let cap = if config.recorder_cap > 0 {
+                config.recorder_cap
+            } else {
+                FlightRecorder::capacity_from_env()
+            };
+            Arc::new(FlightRecorder::new(cap))
+        });
 
         let ctx = Arc::new(RouteContext {
             store: ProfileStore::global(),
@@ -288,6 +310,14 @@ impl Server {
             limit_wait: config.limit_wait,
             retry_after_secs: config.retry_after_secs,
             metrics: routes::HotMetrics::resolve(),
+            recorder,
+            info: ServerInfo::new(
+                match transport {
+                    Transport::Reactor => "reactor",
+                    Transport::Threaded => "threaded",
+                },
+                config.workers.max(1),
+            ),
         });
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -300,10 +330,6 @@ impl Server {
                 .spawn(move || routes::warm_catalog(&ctx))?;
         }
 
-        let transport = match config.transport {
-            Transport::Reactor if cfg!(target_os = "linux") => Transport::Reactor,
-            _ => Transport::Threaded,
-        };
         let worker_config = Arc::new(WorkerConfig {
             max_requests_per_connection: config.max_requests_per_connection,
             pipeline_batch: config.pipeline_batch.max(1),
@@ -393,6 +419,24 @@ fn start_reactor(
 
     listener.set_nonblocking(true)?;
     let queue = Arc::new(Queue::new(config.queue_depth.max(1)));
+    ctx.info.set_queue_len({
+        let queue = Arc::clone(&queue);
+        Box::new(move || queue.len())
+    });
+    // Debug/health routes answer inline on a full queue instead of
+    // shedding — the observability plane must stay reachable exactly
+    // when the system is saturated. The closures keep the reactor
+    // route-agnostic.
+    let exempt = {
+        let ctx = Arc::clone(ctx);
+        Arc::new(move |request: &Request| routes::exempt_response(request, &ctx))
+            as Arc<crate::reactor::ExemptFn>
+    };
+    let on_shed = {
+        let ctx = Arc::clone(ctx);
+        Arc::new(move |request: &Request| record_shed(request, &ctx))
+            as Arc<crate::reactor::ShedHook>
+    };
     let (reactor, handle) = Reactor::new(
         listener,
         Arc::clone(&queue),
@@ -401,6 +445,8 @@ fn start_reactor(
             max_requests_per_connection: config.max_requests_per_connection,
             max_connections: config.max_connections.max(1),
             retry_after_secs: config.retry_after_secs,
+            exempt,
+            on_shed,
         },
     )?;
 
@@ -443,15 +489,20 @@ fn start_threaded(
     // accepts still happen back-to-back.
     listener.set_nonblocking(true)?;
     let queue = Arc::new(Queue::new(config.queue_depth.max(1)));
+    ctx.info.set_queue_len({
+        let queue = Arc::clone(&queue);
+        Box::new(move || queue.len())
+    });
 
     let acceptor = {
         let stop = Arc::clone(stop);
         let queue = Arc::clone(&queue);
+        let ctx = Arc::clone(ctx);
         let retry_after = config.retry_after_secs;
         let timeout = config.request_timeout;
         std::thread::Builder::new()
             .name("leakage-server-accept".to_string())
-            .spawn(move || accept_loop(&listener, &stop, &queue, retry_after, timeout))?
+            .spawn(move || accept_loop(&listener, &stop, &queue, &ctx, retry_after, timeout))?
     };
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -477,6 +528,7 @@ fn accept_loop(
     listener: &TcpListener,
     stop: &AtomicBool,
     queue: &Queue<Connection>,
+    ctx: &RouteContext,
     retry_after_secs: u64,
     timeout: Duration,
 ) {
@@ -487,7 +539,7 @@ fn accept_loop(
                 // bug) must cost one connection, not the acceptor.
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     leakage_faults::panic_point("server/accept");
-                    admit(stream, queue, retry_after_secs, timeout);
+                    admit(stream, queue, ctx, retry_after_secs, timeout);
                 }));
                 if result.is_err() {
                     registry().counter("server_accept_panics_total").inc();
@@ -506,23 +558,66 @@ fn accept_loop(
     }
 }
 
-fn admit(stream: TcpStream, queue: &Queue<Connection>, retry_after_secs: u64, timeout: Duration) {
+fn admit(
+    stream: TcpStream,
+    queue: &Queue<Connection>,
+    ctx: &RouteContext,
+    retry_after_secs: u64,
+    timeout: Duration,
+) {
     let _ = stream.set_write_timeout(Some(timeout));
     let _ = stream.set_nodelay(true);
     if let Err(mut rejected) = queue.push(Connection::new(stream, 0)) {
-        registry().counter("server_admission_rejected_total").inc();
         // Drain the request first (briefly — the acceptor must not be
         // hostage to a slow sender): dropping a socket with unread
         // bytes RSTs the connection and the client never sees the 503.
         let _ = rejected
             .stream
             .set_read_timeout(Some(Duration::from_millis(250)));
-        let _ = read_request(&mut rejected.stream);
+        let request = read_request(&mut rejected.stream);
+        // Health/debug routes stay reachable when saturated: answer
+        // inline on the acceptor instead of shedding.
+        if let Ok(Ok(request)) = &request {
+            if let Some(wire) = routes::exempt_response(request, ctx) {
+                let _ = (&rejected.stream).write_all(&wire.to_bytes(false));
+                let _ = rejected.stream.shutdown(std::net::Shutdown::Write);
+                return;
+            }
+            record_shed(request, ctx);
+        }
+        registry().counter("server_admission_rejected_total").inc();
         let _ = Response::error(503, "admission queue full")
             .with_header("Retry-After", retry_after_secs.to_string())
             .write_to(&mut rejected.stream);
         let _ = rejected.stream.shutdown(std::net::Shutdown::Write);
     }
+}
+
+/// Publishes a minimal shed-flagged record so overload events are
+/// visible in `/debug/requests` and `/debug/slow` even though the
+/// request never reached a worker.
+pub(crate) fn record_shed(request: &Request, ctx: &RouteContext) {
+    let Some(recorder) = ctx.recorder.as_deref() else {
+        return;
+    };
+    let queue_us = us32(request.trace.parsed_at.elapsed());
+    let trace_id = if request.trace.id == 0 {
+        crate::trace::next_trace_id()
+    } else {
+        request.trace.id
+    };
+    recorder.record(&RequestRecord {
+        trace_id,
+        end_us: recorder.now_us(),
+        route: routes::route_code(routes::route_name(request)),
+        flags: FLAG_SHED,
+        status: 503,
+        req_bytes: request.trace.req_bytes,
+        total_us: request.trace.parse_us.saturating_add(queue_us),
+        parse_us: request.trace.parse_us,
+        queue_us,
+        ..RequestRecord::default()
+    });
 }
 
 fn threaded_worker(
@@ -625,17 +720,64 @@ pub fn work_requests(
 ) -> Connection {
     ctx.metrics.inflight.add(1);
     let mut answered = 0usize;
+    let recorder = ctx.recorder.as_deref();
     loop {
         let started = Instant::now();
         let route = routes::route_name(&request);
-        let wire = routes::handle(&request, ctx);
+        let stage = StageTrace::default();
+        let wire = routes::handle(&request, ctx, &stage);
         // The response's Connection header must state the fate: close
         // when the client asked, the budget ran out, the peer
         // half-closed with nothing left buffered, or we are draining.
         let keep_alive = !conn.close
             && !worker_config.stop.load(Ordering::Relaxed)
             && !(conn.eof && !conn.has_buffered_request());
-        wire.serialize_into(&mut conn.out, keep_alive);
+        if recorder.is_some() {
+            let trace = request.trace;
+            let queue_us = us32(started.saturating_duration_since(trace.parsed_at));
+            // One clock read ends the handler stage and starts the
+            // serialize stage.
+            let handler_done = Instant::now();
+            let handler_us = us32(handler_done.saturating_duration_since(started));
+            let header = TimingHeader {
+                id: trace.id,
+                parse_us: trace.parse_us,
+                queue_us,
+                permit_us: stage.permit_us.get(),
+                handler_us,
+                store_us: stage.store_us.get(),
+                prev_serialize_us: conn.last_serialize_us,
+                prev_write_us: conn.last_write_us,
+            };
+            wire.serialize_traced(&mut conn.out, keep_alive, |out| {
+                header.render(out, trace.from_client);
+            });
+            let serialize_us = us32(handler_done.elapsed());
+            conn.last_serialize_us = serialize_us;
+            // write_us/total_us/end_us are filled in after the batch
+            // flush; see below.
+            conn.pending.push(PendingRecord {
+                parsed_at: trace.parsed_at,
+                record: RequestRecord {
+                    trace_id: trace.id,
+                    route: routes::route_code(route),
+                    flags: stage.flags(),
+                    status: wire.status(),
+                    req_bytes: trace.req_bytes,
+                    resp_bytes: u32::try_from(wire.head_len() + wire.body().len())
+                        .unwrap_or(u32::MAX),
+                    parse_us: trace.parse_us,
+                    queue_us,
+                    permit_us: stage.permit_us.get(),
+                    handler_us,
+                    store_us: stage.store_us.get(),
+                    serialize_us,
+                    ..RequestRecord::default()
+                },
+            });
+        } else {
+            wire.serialize_into(&mut conn.out, keep_alive);
+        }
         ctx.metrics.requests_total.inc();
         ctx.metrics.count_status(wire.status());
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -667,10 +809,32 @@ pub fn work_requests(
             Taken::NeedMore => break,
         }
     }
-    if !conn.out.is_empty() && flush_output(&mut conn, worker_config).is_err() {
-        ctx.metrics.transport_errors.inc();
-        conn.close = true;
+    if !conn.out.is_empty() {
+        let write_started = Instant::now();
+        if flush_output(&mut conn, worker_config).is_err() {
+            ctx.metrics.transport_errors.inc();
+            conn.close = true;
+        }
+        if let Some(recorder) = recorder {
+            // One write served the whole pipelined batch; each record
+            // carries that shared cost plus its own end-to-end total.
+            // A single clock read stamps the whole batch.
+            let flushed = Instant::now();
+            let write_us = us32(flushed.duration_since(write_started));
+            let end_us = recorder.now_us();
+            conn.last_write_us = write_us;
+            for pending in conn.pending.drain(..) {
+                let mut record = pending.record;
+                record.write_us = write_us;
+                record.total_us = record
+                    .parse_us
+                    .saturating_add(us32(flushed.saturating_duration_since(pending.parsed_at)));
+                record.end_us = end_us;
+                recorder.record(&record);
+            }
+        }
     }
+    conn.pending.clear();
     ctx.metrics.inflight.sub(1);
     conn
 }
@@ -717,6 +881,8 @@ mod tests {
         assert_eq!(config.default_scale, Scale::Test);
         assert!(config.pipeline_batch >= 1);
         assert!(config.preserialize);
+        assert!(config.recorder, "tracing ships on by default");
+        assert_eq!(config.recorder_cap, 0, "0 = env/default capacity");
         #[cfg(target_os = "linux")]
         assert_eq!(config.transport, Transport::Reactor);
     }

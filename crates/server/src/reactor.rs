@@ -30,7 +30,7 @@
 #![cfg(target_os = "linux")]
 
 use crate::conn::{Connection, Taken};
-use crate::http::Response;
+use crate::http::{Request, Response, WireResponse};
 use crate::pool::{Job, Queue, WorkerConfig};
 use crate::routes::RouteContext;
 use leakage_telemetry::{registry, striped_counter};
@@ -206,8 +206,16 @@ impl ReactorHandle {
     }
 }
 
+/// Answers admission-exempt requests (health/debug routes) inline
+/// when the queue is full; `None` means the request is shed normally.
+pub type ExemptFn = dyn Fn(&Request) -> Option<WireResponse> + Send + Sync;
+
+/// Observes a shed request (publishes a flight-recorder record).
+pub type ShedHook = dyn Fn(&Request) + Send + Sync;
+
 /// Reactor tuning, split from [`crate::ServerConfig`] so the reactor
-/// has no route-level knowledge.
+/// has no route-level knowledge — route-aware behavior arrives as the
+/// `exempt`/`on_shed` closures.
 pub struct ReactorConfig {
     /// Close keep-alive connections idle this long.
     pub idle_timeout: Duration,
@@ -218,6 +226,10 @@ pub struct ReactorConfig {
     pub max_connections: usize,
     /// `Retry-After` seconds on shed responses.
     pub retry_after_secs: u64,
+    /// Inline responder for admission-exempt routes on a full queue.
+    pub exempt: Arc<ExemptFn>,
+    /// Shed observer (flight-recorder record for 503s).
+    pub on_shed: Arc<ShedHook>,
 }
 
 const LISTENER_TOKEN: u64 = 0;
@@ -444,8 +456,25 @@ impl Reactor {
 
     fn dispatch(&mut self, conn: Connection, request: crate::http::Request) {
         self.handle.inflight.fetch_add(1, Ordering::SeqCst);
-        if let Err((conn, _request)) = self.queue.push((conn, request)) {
+        if let Err((mut conn, request)) = self.queue.push((conn, request)) {
             self.handle.inflight.fetch_sub(1, Ordering::SeqCst);
+            // Health/debug routes answer inline even when saturated —
+            // that is exactly when the debug plane matters most. The
+            // handlers behind the exempt closure are allocation-light
+            // and never touch the sim permits, so the reactor thread
+            // is not held hostage.
+            if let Some(wire) = (self.config.exempt)(&request) {
+                let survive = !conn.close && !conn.eof && !self.draining;
+                let mut out = Vec::new();
+                wire.serialize_into(&mut out, survive);
+                let ok = (&conn.stream).write_all(&out).is_ok();
+                if survive && ok {
+                    conn.last_activity = Instant::now();
+                    self.reinstate(conn);
+                }
+                return;
+            }
+            (self.config.on_shed)(&request);
             striped_counter!("server_admission_rejected_total").inc();
             striped_counter!("server_shed_total").inc();
             let wire = Response::error(503, "admission queue full")

@@ -333,6 +333,7 @@ mod tests {
             query: Vec::new(),
             body: Vec::new(),
             close: false,
+            trace: crate::trace::ReqTrace::default(),
         };
         assert!(ResponseCache::cacheable(&req("GET", "/v1/table/2"), 200));
         assert!(!ResponseCache::cacheable(&req("GET", "/healthz"), 200));

@@ -26,6 +26,7 @@ use crate::http::{Request, Response, WireResponse};
 use crate::limit::Semaphore;
 use crate::respcache::ResponseCache;
 use crate::storefront::StoreFront;
+use crate::trace::{us32, StageTrace};
 use leakage_cachesim::Level1;
 use leakage_experiments::query::{self, QueryError, SweepPoint};
 use leakage_experiments::{CacheProfile, ProfileStore, Table};
@@ -33,12 +34,15 @@ use leakage_faults::StoreError;
 use leakage_telemetry::json::{self, Json};
 use leakage_telemetry::prometheus_text;
 use leakage_telemetry::{registry, Gauge, Histogram, StripedCounter};
+use leakage_telemetry::{
+    FlightRecorder, RequestRecord, FLAG_CACHE_HIT, FLAG_CATALOG_HIT, FLAG_PANIC, FLAG_SHED,
+};
 use leakage_workloads::{Scale, SUITE_NAMES};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted `Scale::Custom` cycle count — a served query must
 /// not be able to commission an unbounded simulation.
@@ -52,10 +56,25 @@ pub const LATENCY_BOUNDS_US: [u64; 9] = [
     100, 1_000, 5_000, 20_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
 ];
 
-/// Every route label [`route_name`] can produce.
-pub const ROUTES: [&str; 8] = [
-    "healthz", "metrics", "version", "profile", "table", "figure", "sweep", "not_found",
+/// Every route label [`route_name`] can produce. The index of a label
+/// is its [`route_code`] — the u8 stored in flight-recorder records.
+pub const ROUTES: [&str; 9] = [
+    "healthz", "metrics", "version", "profile", "table", "figure", "sweep", "debug", "not_found",
 ];
+
+/// The recorder's compact route code for a label (index in
+/// [`ROUTES`]; unknown labels map to `not_found`).
+pub fn route_code(route: &str) -> u8 {
+    ROUTES
+        .iter()
+        .position(|r| *r == route)
+        .unwrap_or(ROUTES.len() - 1) as u8
+}
+
+/// The label for a recorder route code.
+pub fn route_label(code: u8) -> &'static str {
+    ROUTES.get(usize::from(code)).copied().unwrap_or("unknown")
+}
 
 /// Hot-path metric handles, resolved once at server start. Striped
 /// counters scale across worker threads; pre-resolution means the
@@ -95,9 +114,14 @@ impl HotMetrics {
                 route,
                 reg.striped_counter(&format!("server_requests_{route}_total")),
             );
+            // Label form: every route renders under one
+            // `server_latency_us` Prometheus family.
             latency.insert(
                 route,
-                reg.histogram(&format!("server_latency_us_{route}"), &LATENCY_BOUNDS_US),
+                reg.histogram(
+                    &format!("server_latency_us{{route=\"{route}\"}}"),
+                    &LATENCY_BOUNDS_US,
+                ),
             );
         }
         HotMetrics {
@@ -156,6 +180,50 @@ pub struct RouteContext {
     pub retry_after_secs: u64,
     /// Pre-resolved hot-path metric handles.
     pub metrics: HotMetrics,
+    /// Flight recorder behind `/debug/*`; `None` when disabled
+    /// (`--no-recorder`).
+    pub recorder: Option<Arc<FlightRecorder>>,
+    /// Static + live server facts surfaced by `/healthz`.
+    pub info: ServerInfo,
+}
+
+/// Server-level facts for `/healthz`: fixed at startup (transport,
+/// worker count) or read live through an injected probe (queue
+/// depth — the transports own their queues, so they install the probe
+/// after construction).
+pub struct ServerInfo {
+    started: Instant,
+    transport: &'static str,
+    workers: usize,
+    queue_len: OnceLock<Box<dyn Fn() -> usize + Send + Sync>>,
+}
+
+impl ServerInfo {
+    /// Facts known at construction; the queue probe arrives later via
+    /// [`ServerInfo::set_queue_len`].
+    pub fn new(transport: &'static str, workers: usize) -> Self {
+        ServerInfo {
+            started: Instant::now(),
+            transport,
+            workers,
+            queue_len: OnceLock::new(),
+        }
+    }
+
+    /// Installs the live queue-depth probe (first caller wins).
+    pub fn set_queue_len(&self, probe: Box<dyn Fn() -> usize + Send + Sync>) {
+        let _ = self.queue_len.set(probe);
+    }
+
+    /// Current admission-queue depth; 0 before the probe is installed.
+    pub fn queue_len(&self) -> usize {
+        self.queue_len.get().map_or(0, |probe| probe())
+    }
+
+    /// Whole seconds since server start.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
 }
 
 /// The route label used for fault sites and per-route metrics.
@@ -169,6 +237,7 @@ pub fn route_name(request: &Request) -> &'static str {
         _ if path.starts_with("/v1/table/") => "table",
         _ if path.starts_with("/v1/figure/") => "figure",
         _ if path == "/v1/sweep" => "sweep",
+        _ if path.starts_with("/debug/") => "debug",
         _ => "not_found",
     }
 }
@@ -181,7 +250,9 @@ fn catalog_eligible(request: &Request, ctx: &RouteContext) -> bool {
         return false;
     }
     match request.path.as_str() {
-        "/healthz" | "/v1/version" => request.query.is_empty(),
+        // `/healthz` left the catalog when it became a live snapshot
+        // (uptime, queue depth); `/v1/version` is still constant.
+        "/v1/version" => request.query.is_empty(),
         "/v1/table/1" | "/v1/table/2" | "/v1/table/3" | "/v1/figure/7" | "/v1/figure/8"
         | "/v1/figure/9" => request.query.iter().all(|(k, v)| match k.as_str() {
             // Compare by cycles: `scale=test` and `scale=200000` are
@@ -199,8 +270,10 @@ fn catalog_eligible(request: &Request, ctx: &RouteContext) -> bool {
 
 /// Routes one request to its handler with catalog/cache lookup and
 /// panic isolation. Always returns a response — a panicking handler
-/// yields a 500.
-pub fn handle(request: &Request, ctx: &RouteContext) -> WireResponse {
+/// yields a 500. `stage` accumulates latency attribution (permit
+/// wait, store time, hit/panic flags) for the flight recorder; pass
+/// `&StageTrace::default()` when the breakdown is not needed.
+pub fn handle(request: &Request, ctx: &RouteContext, stage: &StageTrace) -> WireResponse {
     let route = route_name(request);
     if let Some(counter) = ctx.metrics.requests.get(route) {
         counter.inc();
@@ -211,11 +284,13 @@ pub fn handle(request: &Request, ctx: &RouteContext) -> WireResponse {
     if in_catalog_space {
         if let Some(hit) = ctx.catalog.get(&key) {
             ctx.metrics.catalog_hits.inc();
+            stage.catalog_hit.set(true);
             return hit;
         }
     } else if request.method == "GET" && request.path.starts_with("/v1/") {
         if let Some(hit) = ctx.cache.get(&key) {
             ctx.metrics.cache_hits.inc();
+            stage.cache_hit.set(true);
             return hit;
         }
         ctx.metrics.cache_misses.inc();
@@ -223,12 +298,13 @@ pub fn handle(request: &Request, ctx: &RouteContext) -> WireResponse {
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         leakage_faults::panic_point(&format!("server/handler/{route}"));
-        dispatch(request, ctx, route)
+        dispatch(request, ctx, route, stage)
     }));
     let response = match outcome {
         Ok(response) => response,
         Err(_) => {
             registry().counter("server_handler_panics_total").inc();
+            stage.panicked.set(true);
             Response::error(500, "handler panicked; see server logs")
         }
     };
@@ -251,7 +327,7 @@ pub fn warm_catalog(ctx: &RouteContext) {
     if !ctx.catalog.enabled() {
         return;
     }
-    let mut targets = vec![Request::get("/healthz"), Request::get("/v1/version")];
+    let mut targets = vec![Request::get("/v1/version")];
     let scale_arg = match ctx.catalog.default_scale() {
         Scale::Test => "test".to_string(),
         Scale::Small => "small".to_string(),
@@ -275,15 +351,45 @@ pub fn warm_catalog(ctx: &RouteContext) {
         }
     }
     for request in targets {
-        let _ = handle(&request, ctx);
+        let _ = handle(&request, ctx, &StageTrace::default());
     }
 }
 
-fn dispatch(request: &Request, ctx: &RouteContext, route: &str) -> Response {
+/// Serves health/debug GETs inline when the admission queue is full:
+/// these routes never take a simulation permit or run a simulation,
+/// so answering them on the transport thread is cheap and keeps the
+/// observability plane reachable exactly when it matters most (during
+/// overload). Returns `None` for every sheddable route.
+pub fn exempt_response(request: &Request, ctx: &RouteContext) -> Option<WireResponse> {
+    if request.method != "GET" {
+        return None;
+    }
+    let path = request.path.as_str();
+    if path != "/healthz" && !path.starts_with("/debug/") {
+        return None;
+    }
+    let wire = handle(request, ctx, &StageTrace::default());
+    ctx.metrics.requests_total.inc();
+    ctx.metrics.count_status(wire.status());
+    Some(wire)
+}
+
+/// Runs `f`, accumulating its wall time into the stage's store bucket.
+fn timed_store<T>(stage: &StageTrace, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let result = f();
+    stage
+        .store_us
+        .set(stage.store_us.get().saturating_add(us32(started.elapsed())));
+    result
+}
+
+fn dispatch(request: &Request, ctx: &RouteContext, route: &str, stage: &StageTrace) -> Response {
     match (request.method.as_str(), route) {
-        ("GET", "healthz") => healthz(),
+        ("GET", "healthz") => healthz(ctx),
         ("GET", "metrics") => Response::text(200, prometheus_text()),
         ("GET", "version") => version(),
+        ("GET", "debug") => debug_route(request, ctx),
         ("GET", "profile" | "table" | "figure") => {
             // Validate the scale before burning a permit on a
             // malformed query.
@@ -291,20 +397,26 @@ fn dispatch(request: &Request, ctx: &RouteContext, route: &str) -> Response {
                 Ok(scale) => scale,
                 Err(response) => return response,
             };
-            let Some(_permit) = ctx.sim_limit.acquire(ctx.limit_wait) else {
-                return shed(ctx, "simulation concurrency limit reached");
+            let permit_started = Instant::now();
+            let permit = ctx.sim_limit.acquire(ctx.limit_wait);
+            stage.permit_us.set(us32(permit_started.elapsed()));
+            let Some(_permit) = permit else {
+                return shed(ctx, stage, "simulation concurrency limit reached");
             };
             match route {
-                "profile" => profile(request, ctx, scale),
-                "table" => table(request, ctx, scale),
-                _ => figure(request, ctx, scale),
+                "profile" => profile(request, ctx, scale, stage),
+                "table" => table(request, ctx, scale, stage),
+                _ => figure(request, ctx, scale, stage),
             }
         }
         ("POST", "sweep") => {
-            let Some(_permit) = ctx.sweep_limit.acquire(ctx.limit_wait) else {
-                return shed(ctx, "sweep concurrency limit reached");
+            let permit_started = Instant::now();
+            let permit = ctx.sweep_limit.acquire(ctx.limit_wait);
+            stage.permit_us.set(us32(permit_started.elapsed()));
+            let Some(_permit) = permit else {
+                return shed(ctx, stage, "sweep concurrency limit reached");
             };
-            sweep(request, ctx)
+            sweep(request, ctx, stage)
         }
         (_, "not_found") => Response::error(404, &format!("no such route: {}", request.path)),
         _ => Response::error(405, &format!("{} not allowed here", request.method)),
@@ -312,17 +424,170 @@ fn dispatch(request: &Request, ctx: &RouteContext, route: &str) -> Response {
 }
 
 /// 503 + `Retry-After` — the shared shed/backpressure response.
-fn shed(ctx: &RouteContext, reason: &str) -> Response {
+fn shed(ctx: &RouteContext, stage: &StageTrace, reason: &str) -> Response {
     registry().counter("server_shed_total").inc();
+    stage.shed.set(true);
     Response::error(503, reason).with_header("Retry-After", ctx.retry_after_secs.to_string())
 }
 
-fn healthz() -> Response {
+fn healthz(ctx: &RouteContext) -> Response {
+    let (recorder_cap, recorded_total) = match ctx.recorder.as_deref() {
+        Some(recorder) => (recorder.capacity() as u64, recorder.recorded_total()),
+        None => (0, 0),
+    };
     Response::json(
         200,
         json::object([
             json::key("status") + &json::string("ok"),
+            json::key("uptime_s") + &num_u64(ctx.info.uptime_s()),
+            json::key("transport") + &json::string(ctx.info.transport),
+            json::key("workers") + &num_u64(ctx.info.workers as u64),
+            json::key("queue_depth") + &num_u64(ctx.info.queue_len() as u64),
+            json::key("inflight") + &num_u64(ctx.metrics.inflight.get()),
+            json::key("recorder_capacity") + &num_u64(recorder_cap),
+            json::key("recorder_recorded") + &num_u64(recorded_total),
             json::key("suite") + &json::array(SUITE_NAMES.iter().map(|n| json::string(n))),
+        ]),
+    )
+}
+
+/// One recorder record as a JSON object. `trace_id` is a decimal
+/// string (u64 ids do not survive an f64 round-trip).
+fn record_json(rec: &RequestRecord) -> String {
+    json::object([
+        json::key("trace_id") + &json::string(&rec.trace_id.to_string()),
+        json::key("route") + &json::string(route_label(rec.route)),
+        json::key("status") + &num_u64(u64::from(rec.status)),
+        json::key("end_us") + &num_u64(rec.end_us),
+        json::key("total_us") + &num_u64(u64::from(rec.total_us)),
+        json::key("parse_us") + &num_u64(u64::from(rec.parse_us)),
+        json::key("queue_us") + &num_u64(u64::from(rec.queue_us)),
+        json::key("permit_us") + &num_u64(u64::from(rec.permit_us)),
+        json::key("handler_us") + &num_u64(u64::from(rec.handler_us)),
+        json::key("store_us") + &num_u64(u64::from(rec.store_us)),
+        json::key("serialize_us") + &num_u64(u64::from(rec.serialize_us)),
+        json::key("write_us") + &num_u64(u64::from(rec.write_us)),
+        json::key("req_bytes") + &num_u64(u64::from(rec.req_bytes)),
+        json::key("resp_bytes") + &num_u64(u64::from(rec.resp_bytes)),
+        json::key("shed") + bool_str(rec.flags & FLAG_SHED != 0),
+        json::key("panicked") + bool_str(rec.flags & FLAG_PANIC != 0),
+        json::key("cache_hit") + bool_str(rec.flags & FLAG_CACHE_HIT != 0),
+        json::key("catalog_hit") + bool_str(rec.flags & FLAG_CATALOG_HIT != 0),
+    ])
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+fn debug_route(request: &Request, ctx: &RouteContext) -> Response {
+    let Some(recorder) = ctx.recorder.as_deref() else {
+        return Response::error(503, "flight recorder disabled (--no-recorder)");
+    };
+    match request.path.as_str() {
+        "/debug/requests" => debug_requests(request, recorder),
+        "/debug/slow" => debug_slow(recorder),
+        "/debug/stats" => debug_stats(recorder),
+        other => Response::error(
+            404,
+            &format!("no such debug endpoint: {other} (try /debug/requests, /debug/slow, /debug/stats)"),
+        ),
+    }
+}
+
+/// `GET /debug/requests?n=&route=&min_us=` — newest recorded requests
+/// with their per-stage latency attribution.
+fn debug_requests(request: &Request, recorder: &FlightRecorder) -> Response {
+    let n = request
+        .query_param("n")
+        .and_then(|raw| raw.parse::<usize>().ok())
+        .unwrap_or(64)
+        .clamp(1, recorder.capacity());
+    let route_filter = request.query_param("route").map(route_code);
+    let min_us = request
+        .query_param("min_us")
+        .and_then(|raw| raw.parse::<u32>().ok())
+        .unwrap_or(0);
+    let records: Vec<RequestRecord> = recorder
+        .recent(recorder.capacity())
+        .into_iter()
+        .filter(|rec| route_filter.map_or(true, |code| rec.route == code))
+        .filter(|rec| rec.total_us >= min_us)
+        .take(n)
+        .collect();
+    Response::json(
+        200,
+        json::object([
+            json::key("count") + &num_u64(records.len() as u64),
+            json::key("capacity") + &num_u64(recorder.capacity() as u64),
+            json::key("recorded_total") + &num_u64(recorder.recorded_total()),
+            json::key("records") + &json::array(records.iter().map(record_json)),
+        ]),
+    )
+}
+
+/// `GET /debug/slow` — the always-retained reservoir: top-K slowest
+/// requests ever, plus the most recent errors/sheds/panics. Survives
+/// ring wraparound.
+fn debug_slow(recorder: &FlightRecorder) -> Response {
+    let (slowest, errors) = recorder.slow();
+    Response::json(
+        200,
+        json::object([
+            json::key("slowest") + &json::array(slowest.iter().map(record_json)),
+            json::key("errors") + &json::array(errors.iter().map(record_json)),
+        ]),
+    )
+}
+
+/// Rolling stats window over the recorder, in microseconds.
+const STATS_WINDOW_US: u64 = 10_000_000;
+
+/// `GET /debug/stats` — per-route rate/error/latency over the last
+/// 10 s, computed from recorded requests (not cumulative counters, so
+/// it reflects *current* behaviour).
+fn debug_stats(recorder: &FlightRecorder) -> Response {
+    let now_us = recorder.now_us();
+    let since = now_us.saturating_sub(STATS_WINDOW_US);
+    let window = recorder.window(since);
+    let mut by_route: HashMap<u8, Vec<&RequestRecord>> = HashMap::new();
+    for rec in &window {
+        by_route.entry(rec.route).or_default().push(rec);
+    }
+    let mut codes: Vec<u8> = by_route.keys().copied().collect();
+    codes.sort_unstable();
+    let window_s = STATS_WINDOW_US as f64 / 1e6;
+    let routes = codes.iter().map(|code| {
+        let recs = &by_route[code];
+        let mut totals: Vec<u32> = recs.iter().map(|r| r.total_us).collect();
+        totals.sort_unstable();
+        let count = totals.len();
+        let errors = recs.iter().filter(|r| r.is_error()).count();
+        let sum: u64 = totals.iter().map(|&t| u64::from(t)).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            u64::from(totals[idx.min(count - 1)])
+        };
+        json::object([
+            json::key("route") + &json::string(route_label(*code)),
+            json::key("count") + &num_u64(count as u64),
+            json::key("rps") + &num_f64(count as f64 / window_s),
+            json::key("errors") + &num_u64(errors as u64),
+            json::key("mean_us") + &num_f64(sum as f64 / count as f64),
+            json::key("p50_us") + &num_u64(pct(0.50)),
+            json::key("p99_us") + &num_u64(pct(0.99)),
+        ])
+    });
+    Response::json(
+        200,
+        json::object([
+            json::key("window_s") + &num_f64(window_s),
+            json::key("count") + &num_u64(window.len() as u64),
+            json::key("routes") + &json::array(routes),
         ]),
     )
 }
@@ -406,7 +671,7 @@ fn side_json(profile: &CacheProfile) -> String {
     ])
 }
 
-fn profile(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
+fn profile(request: &Request, ctx: &RouteContext, scale: Scale, stage: &StageTrace) -> Response {
     let benchmark = request.path.trim_start_matches("/v1/profile/");
     if benchmark.is_empty() || benchmark.contains('/') {
         return Response::error(404, "expected /v1/profile/<benchmark>");
@@ -419,7 +684,7 @@ fn profile(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
             return Response::error(400, &format!("unknown hierarchy {other:?}: only \"alpha\""))
         }
     }
-    match ctx.front.fetch(benchmark, scale) {
+    match timed_store(stage, || ctx.front.fetch(benchmark, scale)) {
         Ok(profile) => Response::json(
             200,
             json::object([
@@ -469,7 +734,7 @@ fn parse_artifact_id(request: &Request, prefix: &str) -> Result<u8, Response> {
         .ok_or_else(|| Response::error(404, &format!("expected {prefix}<number>")))
 }
 
-fn table(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
+fn table(request: &Request, ctx: &RouteContext, scale: Scale, stage: &StageTrace) -> Response {
     let id = match parse_artifact_id(request, "/v1/table/") {
         Ok(id) => id,
         Err(response) => return response,
@@ -478,7 +743,7 @@ fn table(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
         Ok(format) => format,
         Err(response) => return response,
     };
-    match query::table(ctx.store, id, scale) {
+    match timed_store(stage, || query::table(ctx.store, id, scale)) {
         Ok(table) if format == "csv" => Response::csv(table.to_csv()),
         Ok(table) => Response::json(200, table.to_json()),
         Err(err) => query_error_response(&err),
@@ -494,7 +759,7 @@ fn figure_json(id: u8, scale: Scale, icache: &Table, dcache: &Table) -> String {
     ])
 }
 
-fn figure(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
+fn figure(request: &Request, ctx: &RouteContext, scale: Scale, stage: &StageTrace) -> Response {
     let id = match parse_artifact_id(request, "/v1/figure/") {
         Ok(id) => id,
         Err(response) => return response,
@@ -503,7 +768,7 @@ fn figure(request: &Request, ctx: &RouteContext, scale: Scale) -> Response {
         Ok(format) => format,
         Err(response) => return response,
     };
-    match query::figure(ctx.store, id, scale) {
+    match timed_store(stage, || query::figure(ctx.store, id, scale)) {
         Ok((icache, dcache)) if format == "csv" => {
             Response::csv(format!("{}\n{}", icache.to_csv(), dcache.to_csv()))
         }
@@ -572,7 +837,7 @@ fn side_token(side: Level1) -> &'static str {
     }
 }
 
-fn sweep(request: &Request, ctx: &RouteContext) -> Response {
+fn sweep(request: &Request, ctx: &RouteContext, stage: &StageTrace) -> Response {
     let SweepRequest { scale, points } = match parse_sweep_body(request, ctx) {
         Ok(parsed) => parsed,
         Err(response) => return response,
@@ -581,21 +846,23 @@ fn sweep(request: &Request, ctx: &RouteContext) -> Response {
     // Profiles come through the striped front (so a hot benchmark is
     // an uncontended read), and the store behind it memoizes, so the
     // per-benchmark simulation cost is paid at most once per process.
-    let results: Vec<Result<String, QueryError>> = points
-        .par_iter()
-        .map(|point| {
-            let profile = ctx.front.fetch(&point.benchmark, scale)?;
-            let savings = query::sweep_point_profile(&profile, point);
-            Ok(json::object([
-                json::key("benchmark") + &json::string(&point.benchmark),
-                json::key("side") + &json::string(side_token(point.side)),
-                json::key("node") + &json::string(&point.node.to_string()),
-                json::key("opt_drowsy") + &num_f64(savings.opt_drowsy),
-                json::key("opt_sleep") + &num_f64(savings.opt_sleep),
-                json::key("opt_hybrid") + &num_f64(savings.opt_hybrid),
-            ]))
-        })
-        .collect();
+    let results: Vec<Result<String, QueryError>> = timed_store(stage, || {
+        points
+            .par_iter()
+            .map(|point| {
+                let profile = ctx.front.fetch(&point.benchmark, scale)?;
+                let savings = query::sweep_point_profile(&profile, point);
+                Ok(json::object([
+                    json::key("benchmark") + &json::string(&point.benchmark),
+                    json::key("side") + &json::string(side_token(point.side)),
+                    json::key("node") + &json::string(&point.node.to_string()),
+                    json::key("opt_drowsy") + &num_f64(savings.opt_drowsy),
+                    json::key("opt_sleep") + &num_f64(savings.opt_sleep),
+                    json::key("opt_hybrid") + &num_f64(savings.opt_hybrid),
+                ]))
+            })
+            .collect()
+    });
     let mut rows = Vec::with_capacity(results.len());
     for result in results {
         match result {
@@ -628,7 +895,15 @@ mod tests {
             limit_wait: Duration::from_millis(200),
             retry_after_secs: 1,
             metrics: HotMetrics::resolve(),
+            recorder: Some(Arc::new(FlightRecorder::new(64))),
+            info: ServerInfo::new("test", 0),
         }
+    }
+
+    /// `handle` with a throwaway stage trace, for tests that only
+    /// care about the response.
+    fn handle(request: &Request, ctx: &RouteContext) -> WireResponse {
+        super::handle(request, ctx, &StageTrace::default())
     }
 
     /// Catalog off, so tests exercise the LRU-cache tier.
@@ -646,6 +921,7 @@ mod tests {
                 .collect(),
             body: Vec::new(),
             close: false,
+            trace: crate::trace::ReqTrace::default(),
         }
     }
 
@@ -662,7 +938,114 @@ mod tests {
         assert_eq!(route_name(&get("/v1/table/2", &[])), "table");
         assert_eq!(route_name(&get("/v1/figure/8", &[])), "figure");
         assert_eq!(route_name(&get("/v1/sweep", &[])), "sweep");
+        assert_eq!(route_name(&get("/debug/requests", &[])), "debug");
         assert_eq!(route_name(&get("/nope", &[])), "not_found");
+        for route in ROUTES {
+            assert_eq!(route_label(route_code(route)), route);
+        }
+    }
+
+    #[test]
+    fn debug_endpoints_serve_recorded_requests() {
+        let ctx = ctx();
+        // Serve a profile request and record it the way the pool does.
+        let stage = StageTrace::default();
+        let wire = super::handle(&get("/v1/profile/gzip", &[("scale", "test")]), &ctx, &stage);
+        assert_eq!(wire.status(), 200);
+        let recorder = ctx.recorder.as_deref().unwrap();
+        let mut rec = RequestRecord {
+            trace_id: 77,
+            end_us: recorder.now_us(),
+            route: route_code("profile"),
+            status: wire.status(),
+            total_us: 1000,
+            handler_us: 900,
+            ..RequestRecord::default()
+        };
+        rec.store_us = stage.store_us.get().min(900);
+        rec.flags = stage.flags();
+        recorder.record(&rec);
+
+        let requests = handle(&get("/debug/requests", &[]), &ctx);
+        assert_eq!(requests.status(), 200);
+        let doc = json::parse(&body_text(&requests)).unwrap();
+        let records = doc.get("records").and_then(Json::as_array).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].get("trace_id").and_then(Json::as_str),
+            Some("77")
+        );
+        assert_eq!(
+            records[0].get("route").and_then(Json::as_str),
+            Some("profile")
+        );
+        assert!(records[0].get("store_us").and_then(Json::as_f64).is_some());
+
+        // Filters: wrong route or a min_us above the total excludes it.
+        let none = handle(&get("/debug/requests", &[("route", "sweep")]), &ctx);
+        let doc = json::parse(&body_text(&none)).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(0.0));
+        let none = handle(&get("/debug/requests", &[("min_us", "5000")]), &ctx);
+        let doc = json::parse(&body_text(&none)).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(0.0));
+
+        // Stats aggregate the same record into the 10s window.
+        let stats = handle(&get("/debug/stats", &[]), &ctx);
+        let doc = json::parse(&body_text(&stats)).unwrap();
+        let routes = doc.get("routes").and_then(Json::as_array).unwrap();
+        assert_eq!(routes.len(), 1);
+        assert_eq!(
+            routes[0].get("route").and_then(Json::as_str),
+            Some("profile")
+        );
+        assert_eq!(routes[0].get("count").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(routes[0].get("p99_us").and_then(Json::as_f64), Some(1000.0));
+
+        // Slow reservoir keeps it as a top-K entry.
+        let slow = handle(&get("/debug/slow", &[]), &ctx);
+        let doc = json::parse(&body_text(&slow)).unwrap();
+        let slowest = doc.get("slowest").and_then(Json::as_array).unwrap();
+        assert_eq!(slowest.len(), 1);
+
+        assert_eq!(handle(&get("/debug/nope", &[]), &ctx).status(), 404);
+    }
+
+    #[test]
+    fn debug_routes_require_the_recorder() {
+        let mut ctx = ctx();
+        ctx.recorder = None;
+        assert_eq!(handle(&get("/debug/requests", &[]), &ctx).status(), 503);
+        // healthz still answers, reporting a zero-capacity recorder.
+        let health = handle(&get("/healthz", &[]), &ctx);
+        assert_eq!(health.status(), 200);
+        let doc = json::parse(&body_text(&health)).unwrap();
+        assert_eq!(doc.get("recorder_capacity").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn exemption_covers_only_the_observability_plane() {
+        let ctx = ctx();
+        let health = exempt_response(&get("/healthz", &[]), &ctx).expect("healthz exempt");
+        assert_eq!(health.status(), 200);
+        assert!(exempt_response(&get("/debug/stats", &[]), &ctx).is_some());
+        assert!(exempt_response(&get("/v1/version", &[]), &ctx).is_none());
+        assert!(exempt_response(&get("/v1/profile/gzip", &[]), &ctx).is_none());
+        let mut post = get("/healthz", &[]);
+        post.method = "POST".into();
+        assert!(exempt_response(&post, &ctx).is_none());
+    }
+
+    #[test]
+    fn healthz_reports_live_server_facts() {
+        let ctx = ctx();
+        ctx.info.set_queue_len(Box::new(|| 7));
+        let doc = json::parse(&body_text(&handle(&get("/healthz", &[]), &ctx))).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("transport").and_then(Json::as_str), Some("test"));
+        assert_eq!(doc.get("queue_depth").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(doc.get("recorder_capacity").and_then(Json::as_f64), Some(64.0));
+        let suite = doc.get("suite").and_then(Json::as_array).unwrap();
+        assert_eq!(suite.len(), SUITE_NAMES.len());
     }
 
     #[test]
@@ -764,6 +1147,7 @@ mod tests {
             query: Vec::new(),
             body: body.as_bytes().to_vec(),
             close: false,
+            trace: crate::trace::ReqTrace::default(),
         };
         let response = handle(&request, &ctx);
         assert_eq!(response.status(), 200, "{}", body_text(&response));
@@ -824,8 +1208,9 @@ mod tests {
     fn warm_catalog_fills_the_finite_space() {
         let ctx = ctx_with_catalog(true);
         warm_catalog(&ctx);
-        // healthz + version + 6 artifacts × 3 query variants.
-        assert_eq!(ctx.catalog.len(), 2 + 6 * 3);
+        // version + 6 artifacts × 3 query variants (healthz is a live
+        // snapshot now, outside the catalog space).
+        assert_eq!(ctx.catalog.len(), 1 + 6 * 3);
         // The warmed entry and a fresh compute agree byte-for-byte.
         let request = get("/v1/table/2", &[]);
         let catalog_hit = handle(&request, &ctx).to_bytes(true);

@@ -27,6 +27,12 @@
 //!   (`error|warn|info|debug|off`); the default is `warn`, keeping
 //!   normal runs quiet.
 //!
+//! * **Flight recorder** ([`FlightRecorder`]) is a fixed-capacity
+//!   seqlock ring of per-request [`RequestRecord`]s plus an
+//!   always-retained slow/error reservoir, sized by
+//!   `LEAKAGE_RECORDER_CAP`. One `fetch_add` and eight relaxed stores
+//!   per request; readers skip (never tear) slots being overwritten.
+//!
 //! * **Run manifests** ([`RunManifest`]) bundle free-form config
 //!   key/values and per-experiment pass/fail verdicts with a snapshot
 //!   of the registry and the span profile, serialized to JSON (no
@@ -44,6 +50,7 @@ mod log;
 mod manifest;
 mod metrics;
 mod prom;
+pub mod recorder;
 mod span;
 
 pub use log::{log_enabled, set_log_level, Level};
@@ -53,6 +60,9 @@ pub use metrics::{
     StripedCounter, COUNTER_STRIPES,
 };
 pub use prom::prometheus_text;
+pub use recorder::{
+    FlightRecorder, RequestRecord, FLAG_CACHE_HIT, FLAG_CATALOG_HIT, FLAG_PANIC, FLAG_SHED,
+};
 pub use span::{current_path, span, span_under, span_report, span_tree, SpanGuard, SpanNode, SpanStat};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -5,8 +5,8 @@
 //!
 //! The fault plane is process-global, so tests that arm it serialize
 //! on [`FaultScope`] and pick sites (`server/handler/healthz`,
-//! `server/handler/figure`) that no other test in this binary touches
-//! concurrently.
+//! `server/handler/profile`, `server/handler/figure`) that no other
+//! test in this binary touches concurrently.
 
 use cache_leakage_limits::experiments::query;
 use cache_leakage_limits::experiments::{ProfileStore, Table};
@@ -124,10 +124,14 @@ fn served_sweep_matches_query_api() {
 }
 
 /// Saturating the admission queue sheds load with 503 + `Retry-After`
-/// while admitted requests still complete.
+/// while admitted requests still complete — and while saturated, the
+/// admission-exempt observability plane (`/healthz`, `/debug/*`)
+/// still answers 200 from the transport thread.
 #[test]
 fn saturated_admission_queue_sheds_with_retry_after() {
-    let _faults = FaultScope::new("server/handler/healthz=latency:400");
+    // The profile route: sheddable (not exempt), and not in the
+    // pre-serialized catalog space, so every first touch dispatches.
+    let _faults = FaultScope::new("server/handler/profile=latency:400");
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_depth: 1,
@@ -139,9 +143,17 @@ fn saturated_admission_queue_sheds_with_retry_after() {
 
     let clients: Vec<_> = (0..8)
         .map(|_| {
-            std::thread::spawn(move || fetch(addr, "GET", "/healthz", None, CLIENT_TIMEOUT))
+            std::thread::spawn(move || {
+                fetch(addr, "GET", "/v1/profile/gzip?scale=test", None, CLIENT_TIMEOUT)
+            })
         })
         .collect();
+    // While the pool is saturated, health checks are answered inline
+    // by the transport instead of being shed.
+    std::thread::sleep(Duration::from_millis(100));
+    let health = fetch(addr, "GET", "/healthz", None, CLIENT_TIMEOUT)
+        .expect("healthz answers during overload");
+    assert_eq!(health.status, 200, "observability plane is admission-exempt");
     let responses: Vec<_> = clients
         .into_iter()
         .map(|c| c.join().expect("client thread").expect("response delivered"))
@@ -161,6 +173,20 @@ fn saturated_admission_queue_sheds_with_retry_after() {
             "shed responses carry the configured Retry-After"
         );
     }
+    // Shed requests are retained by the flight recorder's error
+    // reservoir even though they never reached a worker.
+    let slow = fetch(addr, "GET", "/debug/slow", None, CLIENT_TIMEOUT).expect("/debug/slow");
+    assert_eq!(slow.status, 200);
+    let doc = json::parse(&slow.text()).expect("slow JSON parses");
+    let errors = doc.get("errors").and_then(Json::as_array).expect("errors array");
+    assert!(
+        errors.iter().any(|e| {
+            e.get("shed") == Some(&Json::Bool(true))
+                && e.get("status").and_then(Json::as_f64) == Some(503.0)
+        }),
+        "shed requests appear in the error reservoir: {}",
+        slow.text()
+    );
     server.shutdown();
 }
 
@@ -252,7 +278,173 @@ fn loadgen_smoke_reports_healthy_percentiles() {
     assert_eq!(report.requests, report.status_2xx);
     assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
     assert!(report.throughput_rps > 0.0);
+    assert!(
+        !report.server_stages.is_empty(),
+        "Server-Timing headers were parsed into a stage breakdown"
+    );
+    let handler = report
+        .server_stages
+        .iter()
+        .find(|s| s.stage == "handler")
+        .expect("handler stage reported");
+    assert!(handler.count > 0);
     let doc = json::parse(&report.to_json()).expect("report JSON parses");
     assert!(doc.get("p99_us").and_then(Json::as_f64).is_some());
+    assert!(
+        doc.get("server_stages")
+            .and_then(|v| v.get("handler"))
+            .is_some(),
+        "stage breakdown serializes: {}",
+        report.to_json()
+    );
+    server.shutdown();
+}
+
+/// `/healthz` reports live server facts as JSON while staying a plain
+/// 200-on-alive check.
+#[test]
+fn healthz_reports_server_facts() {
+    let server = Server::start(ServerConfig {
+        workers: 3,
+        ..test_config()
+    })
+    .expect("server starts");
+    let health = fetch(server.addr(), "GET", "/healthz", None, CLIENT_TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    let doc = json::parse(&health.text()).expect("healthz JSON parses");
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    let transport = doc.get("transport").and_then(Json::as_str).expect("transport");
+    assert!(transport == "reactor" || transport == "threaded", "{transport}");
+    assert_eq!(doc.get("workers").and_then(Json::as_f64), Some(3.0));
+    assert!(doc.get("uptime_s").and_then(Json::as_f64).is_some());
+    assert!(doc.get("queue_depth").and_then(Json::as_f64).is_some());
+    assert!(
+        doc.get("recorder_capacity").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+        "recorder on by default"
+    );
+    server.shutdown();
+}
+
+/// The full request-tracing loop: a client-chosen `X-Request-Id` is
+/// echoed back with a `Server-Timing` stage breakdown, and the same
+/// id is retrievable from `/debug/requests` with self-consistent
+/// per-stage micros (each stage ≤ total; the stages sum to ≤ total;
+/// permit + store fit inside the handler stage).
+#[test]
+fn request_trace_flows_to_flight_recorder() {
+    use std::io::{Read, Write};
+
+    let server = Server::start(test_config()).expect("server starts");
+    let addr = server.addr();
+
+    // Raw socket: `fetch` does not send custom headers.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    stream
+        .write_all(
+            b"GET /v1/profile/gzip?scale=test HTTP/1.1\r\nHost: t\r\n\
+              X-Request-Id: 424242\r\nConnection: close\r\n\r\n",
+        )
+        .expect("request written");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response read");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.contains("X-Request-Id: 424242"),
+        "trace id echoes back: {raw}"
+    );
+    assert!(
+        raw.contains("Server-Timing: parse;dur=")
+            && raw.contains("queue;dur=")
+            && raw.contains("handler;dur=")
+            && raw.contains("write;dur="),
+        "stage attribution header present: {raw}"
+    );
+
+    // The record is published right after the response flush; retry
+    // briefly to absorb that scheduling gap.
+    let mut found = None;
+    for _ in 0..50 {
+        let debug = fetch(addr, "GET", "/debug/requests?n=256", None, CLIENT_TIMEOUT)
+            .expect("/debug/requests");
+        assert_eq!(debug.status, 200);
+        let doc = json::parse(&debug.text()).expect("debug JSON parses");
+        let records = doc.get("records").and_then(Json::as_array).expect("records");
+        if let Some(rec) = records
+            .iter()
+            .find(|r| r.get("trace_id").and_then(Json::as_str) == Some("424242"))
+        {
+            found = Some(rec.clone());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let rec = found.expect("traced request appears in /debug/requests");
+
+    let field = |name: &str| {
+        rec.get(name)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("record field {name}: {rec:?}"))
+    };
+    assert_eq!(field("status"), 200.0);
+    assert_eq!(rec.get("route").and_then(Json::as_str), Some("profile"));
+    let total = field("total_us");
+    assert!(total > 0.0, "non-zero total latency");
+    let stages = [
+        "parse_us", "queue_us", "permit_us", "handler_us", "store_us", "serialize_us",
+        "write_us",
+    ];
+    for stage in stages {
+        assert!(
+            field(stage) <= total,
+            "{stage} {} exceeds total {total}",
+            field(stage)
+        );
+    }
+    // Disjoint wall-time stages sum to at most the total.
+    let disjoint = field("parse_us")
+        + field("queue_us")
+        + field("handler_us")
+        + field("serialize_us")
+        + field("write_us");
+    assert!(
+        disjoint <= total,
+        "disjoint stages ({disjoint}) must fit in the total ({total})"
+    );
+    // Permit wait and store time happen inside the handler stage.
+    assert!(field("permit_us") + field("store_us") <= field("handler_us") + 1.0);
+
+    // The rolling stats window aggregates the traffic per route.
+    let stats = fetch(addr, "GET", "/debug/stats", None, CLIENT_TIMEOUT).expect("/debug/stats");
+    assert_eq!(stats.status, 200);
+    let doc = json::parse(&stats.text()).expect("stats JSON parses");
+    let routes = doc.get("routes").and_then(Json::as_array).expect("routes");
+    assert!(
+        routes
+            .iter()
+            .any(|r| r.get("route").and_then(Json::as_str) == Some("profile")),
+        "profile traffic shows in the 10s window: {}",
+        stats.text()
+    );
+    server.shutdown();
+}
+
+/// `--no-recorder` (`recorder: false`) disables the tracing plane:
+/// requests still serve, `/debug/*` answers 503, and responses carry
+/// no tracing headers.
+#[test]
+fn disabled_recorder_serves_without_tracing() {
+    let server = Server::start(ServerConfig {
+        recorder: false,
+        ..test_config()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let ok = fetch(addr, "GET", "/v1/table/1?scale=test", None, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(ok.status, 200);
+    assert_eq!(ok.header("server-timing"), None, "no per-request tracing");
+    assert_eq!(ok.header("x-request-id"), None);
+    let debug = fetch(addr, "GET", "/debug/requests", None, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(debug.status, 503, "debug plane reports the disabled recorder");
     server.shutdown();
 }
