@@ -14,7 +14,9 @@ fn usage() -> ! {
          \x20                  [--transport reactor|threaded] [--idle-timeout-ms MS]\n\
          \x20                  [--max-requests-per-conn N] [--max-connections N]\n\
          \x20                  [--pipeline-batch N] [--cache-shards N] [--no-preserialize]\n\
-         \x20                  [--no-recorder] [--recorder-cap N]"
+         \x20                  [--no-recorder] [--recorder-cap N]\n\
+         \x20                  [--jobs-dir PATH] [--job-workers N] [--job-stall-ms MS]\n\
+         \x20                  [--job-worker-env KEY=VALUE] [--max-active-jobs N]"
     );
     std::process::exit(2);
 }
@@ -69,6 +71,23 @@ fn parse_config() -> ServerConfig {
             "--no-recorder" => config.recorder = false,
             "--recorder-cap" => {
                 config.recorder_cap = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--jobs-dir" => config.jobs_dir = value().into(),
+            "--job-workers" => config.job_workers = value().parse().unwrap_or_else(|_| usage()),
+            "--job-stall-ms" => {
+                config.job_stall =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            // Repeatable; each occurrence adds one KEY=VALUE pair to
+            // the job workers' environment (e.g. LEAKAGE_FAULTS arms
+            // for crash drills).
+            "--job-worker-env" => {
+                let pair = value();
+                let (key, val) = pair.split_once('=').unwrap_or_else(|| usage());
+                config.job_worker_env.push((key.into(), val.into()));
+            }
+            "--max-active-jobs" => {
+                config.max_active_jobs = value().parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -27,11 +27,13 @@ use crate::routes::{self, RouteContext, ServerInfo};
 use crate::storefront::StoreFront;
 use crate::trace::{us32, PendingRecord, StageTrace, TimingHeader};
 use leakage_experiments::ProfileStore;
+use leakage_jobs::{FabricConfig, JobFabric};
 use leakage_telemetry::{registry, FlightRecorder, RequestRecord, FLAG_SHED};
 use leakage_workloads::Scale;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -117,6 +119,18 @@ pub struct ServerConfig {
     /// Flight-recorder ring capacity; 0 means `LEAKAGE_RECORDER_CAP`
     /// or the built-in default.
     pub recorder_cap: usize,
+    /// Root directory for durable sweep-job state (checkpoints,
+    /// specs, quarantine).
+    pub jobs_dir: PathBuf,
+    /// Worker processes the job fabric spawns per running job.
+    pub job_workers: usize,
+    /// Kill-and-reassign deadline for a worker sitting on one chunk.
+    pub job_stall: Duration,
+    /// Extra environment passed to job workers (the coordinator's own
+    /// `LEAKAGE_FAULTS` never propagates implicitly).
+    pub job_worker_env: Vec<(String, String)>,
+    /// Queued + running jobs admitted before `POST /v1/jobs` sheds.
+    pub max_active_jobs: usize,
 }
 
 impl Default for ServerConfig {
@@ -141,6 +155,11 @@ impl Default for ServerConfig {
             max_connections: 1024,
             recorder: true,
             recorder_cap: 0,
+            jobs_dir: PathBuf::from("results/jobs"),
+            job_workers: 4,
+            job_stall: Duration::from_secs(30),
+            job_worker_env: Vec::new(),
+            max_active_jobs: 4,
         }
     }
 }
@@ -269,6 +288,7 @@ enum Inner {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    jobs: Arc<JobFabric>,
     inner: Inner,
 }
 
@@ -296,6 +316,17 @@ impl Server {
             Arc::new(FlightRecorder::new(cap))
         });
 
+        // Durable job fabric: recovers any resumable jobs found under
+        // `jobs_dir` before the listener starts answering.
+        let jobs = JobFabric::start(FabricConfig {
+            jobs_dir: config.jobs_dir.clone(),
+            workers: config.job_workers.max(1),
+            stall_deadline: config.job_stall,
+            worker_env: config.job_worker_env.clone(),
+            max_active_jobs: config.max_active_jobs.max(1),
+            ..FabricConfig::default()
+        })?;
+
         let ctx = Arc::new(RouteContext {
             store: ProfileStore::global(),
             front: Arc::new(StoreFront::new(ProfileStore::global(), shards)),
@@ -310,6 +341,7 @@ impl Server {
             limit_wait: config.limit_wait,
             retry_after_secs: config.retry_after_secs,
             metrics: routes::HotMetrics::resolve(),
+            jobs: Arc::clone(&jobs),
             recorder,
             info: ServerInfo::new(
                 match transport {
@@ -346,7 +378,17 @@ impl Server {
             _ => start_threaded(listener, &config, &ctx, &stop, &worker_config)?,
         };
 
-        Ok(Server { addr, stop, inner })
+        Ok(Server {
+            addr,
+            stop,
+            jobs,
+            inner,
+        })
+    }
+
+    /// The job fabric serving `/v1/jobs` (observability for tests).
+    pub fn jobs(&self) -> &Arc<JobFabric> {
+        &self.jobs
     }
 
     /// The bound address (with the real port when `addr` asked for 0).
@@ -404,6 +446,9 @@ impl Server {
                 }
             }
         }
+        // Resumable stop: running jobs park as `queued` with their
+        // checkpoints intact; a restarted server picks them back up.
+        self.jobs.stop();
     }
 }
 

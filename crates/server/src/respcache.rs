@@ -129,9 +129,14 @@ impl ResponseCache {
         }
     }
 
-    /// Whether this request/response pair is cacheable at all.
+    /// Whether this request/response pair is cacheable at all. Job
+    /// endpoints are mutable state (status advances, results appear)
+    /// and must never be served from cache.
     pub fn cacheable(request: &Request, status: u16) -> bool {
-        request.method == "GET" && request.path.starts_with("/v1/") && status == 200
+        request.method == "GET"
+            && request.path.starts_with("/v1/")
+            && !request.path.starts_with("/v1/jobs")
+            && status == 200
     }
 
     fn shard(&self, key: &str) -> &Mutex<Shard> {

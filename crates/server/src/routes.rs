@@ -27,10 +27,10 @@ use crate::limit::Semaphore;
 use crate::respcache::ResponseCache;
 use crate::storefront::StoreFront;
 use crate::trace::{us32, StageTrace};
-use leakage_cachesim::Level1;
 use leakage_experiments::query::{self, QueryError, SweepPoint};
 use leakage_experiments::{CacheProfile, ProfileStore, Table};
 use leakage_faults::StoreError;
+use leakage_jobs::{CancelOutcome, JobFabric, JobSpec, ResultError, SubmitError};
 use leakage_telemetry::json::{self, Json};
 use leakage_telemetry::prometheus_text;
 use leakage_telemetry::{registry, Gauge, Histogram, StripedCounter};
@@ -58,8 +58,9 @@ pub const LATENCY_BOUNDS_US: [u64; 9] = [
 
 /// Every route label [`route_name`] can produce. The index of a label
 /// is its [`route_code`] — the u8 stored in flight-recorder records.
-pub const ROUTES: [&str; 9] = [
-    "healthz", "metrics", "version", "profile", "table", "figure", "sweep", "debug", "not_found",
+pub const ROUTES: [&str; 10] = [
+    "healthz", "metrics", "version", "profile", "table", "figure", "sweep", "jobs", "debug",
+    "not_found",
 ];
 
 /// The recorder's compact route code for a label (index in
@@ -180,6 +181,8 @@ pub struct RouteContext {
     pub retry_after_secs: u64,
     /// Pre-resolved hot-path metric handles.
     pub metrics: HotMetrics,
+    /// The durable sweep-job fabric behind `/v1/jobs`.
+    pub jobs: Arc<JobFabric>,
     /// Flight recorder behind `/debug/*`; `None` when disabled
     /// (`--no-recorder`).
     pub recorder: Option<Arc<FlightRecorder>>,
@@ -237,6 +240,7 @@ pub fn route_name(request: &Request) -> &'static str {
         _ if path.starts_with("/v1/table/") => "table",
         _ if path.starts_with("/v1/figure/") => "figure",
         _ if path == "/v1/sweep" => "sweep",
+        _ if path == "/v1/jobs" || path.starts_with("/v1/jobs/") => "jobs",
         _ if path.starts_with("/debug/") => "debug",
         _ => "not_found",
     }
@@ -287,7 +291,7 @@ pub fn handle(request: &Request, ctx: &RouteContext, stage: &StageTrace) -> Wire
             stage.catalog_hit.set(true);
             return hit;
         }
-    } else if request.method == "GET" && request.path.starts_with("/v1/") {
+    } else if ResponseCache::cacheable(request, 200) {
         if let Some(hit) = ctx.cache.get(&key) {
             ctx.metrics.cache_hits.inc();
             stage.cache_hit.set(true);
@@ -418,6 +422,7 @@ fn dispatch(request: &Request, ctx: &RouteContext, route: &str, stage: &StageTra
             };
             sweep(request, ctx, stage)
         }
+        (_, "jobs") => jobs_route(request, ctx),
         (_, "not_found") => Response::error(404, &format!("no such route: {}", request.path)),
         _ => Response::error(405, &format!("{} not allowed here", request.method)),
     }
@@ -777,6 +782,114 @@ fn figure(request: &Request, ctx: &RouteContext, scale: Scale, stage: &StageTrac
     }
 }
 
+/// `/v1/jobs` and everything under it: the durable sweep-job fabric.
+///
+/// - `POST /v1/jobs` — validate a spec, persist it, start the runner.
+/// - `GET /v1/jobs` — summary of every registered job.
+/// - `GET /v1/jobs/<id>` — full status (progress, worker liveness).
+/// - `GET /v1/jobs/<id>/result?page=&per_page=` — paginated rows of a
+///   `done` job, stable point-index order.
+/// - `DELETE /v1/jobs/<id>` — durable cancel.
+///
+/// Never cached (see [`ResponseCache::cacheable`]): job state is
+/// mutable.
+fn jobs_route(request: &Request, ctx: &RouteContext) -> Response {
+    let rest = request
+        .path
+        .strip_prefix("/v1/jobs")
+        .unwrap_or("")
+        .trim_start_matches('/');
+    match (request.method.as_str(), rest) {
+        ("POST", "") => jobs_submit(request, ctx),
+        ("GET", "") => Response::json(200, ctx.jobs.list_json()),
+        ("GET", id) if !id.contains('/') => match ctx.jobs.status_json(id) {
+            Some(body) => Response::json(200, body),
+            None => Response::error(404, &format!("no such job: {id}")),
+        },
+        ("GET", tail) => match tail.strip_suffix("/result") {
+            Some(id) if !id.is_empty() && !id.contains('/') => jobs_result(request, ctx, id),
+            _ => Response::error(404, &format!("no such jobs endpoint: {}", request.path)),
+        },
+        ("DELETE", id) if !id.is_empty() && !id.contains('/') => match ctx.jobs.cancel(id) {
+            CancelOutcome::Canceled => Response::json(
+                200,
+                json::object([
+                    json::key("id") + &json::string(id),
+                    json::key("state") + &json::string("canceled"),
+                ]),
+            ),
+            CancelOutcome::AlreadyDone => {
+                Response::error(409, &format!("job {id} already completed"))
+            }
+            CancelOutcome::NotFound => Response::error(404, &format!("no such job: {id}")),
+        },
+        ("POST" | "DELETE", _) => {
+            Response::error(404, &format!("no such jobs endpoint: {}", request.path))
+        }
+        _ => Response::error(405, &format!("{} not allowed here", request.method)),
+    }
+}
+
+fn jobs_submit(request: &Request, ctx: &RouteContext) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "job body is not UTF-8"),
+    };
+    let spec = match JobSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(err) => return Response::error(400, &err.to_string()),
+    };
+    if spec.scale.cycles() > MAX_CUSTOM_CYCLES {
+        return Response::error(
+            400,
+            &format!("scale above the serving cap of {MAX_CUSTOM_CYCLES} cycles"),
+        );
+    }
+    match ctx.jobs.submit(spec) {
+        Ok(submitted) => Response::json(
+            if submitted.created { 201 } else { 200 },
+            json::object([
+                json::key("id") + &json::string(&submitted.id),
+                json::key("created") + if submitted.created { "true" } else { "false" },
+            ]),
+        ),
+        Err(SubmitError::Invalid(err)) => Response::error(400, &err.to_string()),
+        Err(SubmitError::Conflict(msg)) => Response::error(409, &msg),
+        Err(SubmitError::Busy) => Response::error(503, "job fabric at capacity")
+            .with_header("Retry-After", ctx.retry_after_secs.to_string()),
+        Err(SubmitError::Io(err)) => Response::error(500, &format!("persisting job: {err}")),
+    }
+}
+
+fn jobs_result(request: &Request, ctx: &RouteContext, id: &str) -> Response {
+    let int_param = |name: &str, default: u64| -> Result<u64, Response> {
+        match request.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| Response::error(400, &format!("bad {name} {raw:?}"))),
+        }
+    };
+    let page = match int_param("page", 0) {
+        Ok(page) => page,
+        Err(response) => return response,
+    };
+    let per_page = match int_param("per_page", 1000) {
+        Ok(per_page) => per_page,
+        Err(response) => return response,
+    };
+    match ctx.jobs.result_page(id, page, per_page) {
+        Ok(body) => Response::json(200, body),
+        Err(ResultError::NotFound) => Response::error(404, &format!("no such job: {id}")),
+        Err(ResultError::NotReady(state)) => {
+            Response::error(409, &format!("job {id} is {state}, not done"))
+        }
+        Err(ResultError::BadRequest(msg)) => Response::error(400, &msg),
+        Err(ResultError::Corrupt(msg)) => Response::error(503, &msg)
+            .with_header("Retry-After", ctx.retry_after_secs.to_string()),
+    }
+}
+
 /// One validated sweep request: a scale plus Fig. 6 model points.
 struct SweepRequest {
     scale: Scale,
@@ -830,13 +943,6 @@ fn parse_sweep_body(request: &Request, ctx: &RouteContext) -> Result<SweepReques
     Ok(SweepRequest { scale, points })
 }
 
-fn side_token(side: Level1) -> &'static str {
-    match side {
-        Level1::Instruction => "icache",
-        Level1::Data => "dcache",
-    }
-}
-
 fn sweep(request: &Request, ctx: &RouteContext, stage: &StageTrace) -> Response {
     let SweepRequest { scale, points } = match parse_sweep_body(request, ctx) {
         Ok(parsed) => parsed,
@@ -846,20 +952,21 @@ fn sweep(request: &Request, ctx: &RouteContext, stage: &StageTrace) -> Response 
     // Profiles come through the striped front (so a hot benchmark is
     // an uncontended read), and the store behind it memoizes, so the
     // per-benchmark simulation cost is paid at most once per process.
+    // Rows render through `leakage_jobs::render_sweep_row` — the same
+    // function the job workers use — so a sharded job's rows are
+    // byte-identical to this path by construction.
     let results: Vec<Result<String, QueryError>> = timed_store(stage, || {
         points
             .par_iter()
             .map(|point| {
                 let profile = ctx.front.fetch(&point.benchmark, scale)?;
                 let savings = query::sweep_point_profile(&profile, point);
-                Ok(json::object([
-                    json::key("benchmark") + &json::string(&point.benchmark),
-                    json::key("side") + &json::string(side_token(point.side)),
-                    json::key("node") + &json::string(&point.node.to_string()),
-                    json::key("opt_drowsy") + &num_f64(savings.opt_drowsy),
-                    json::key("opt_sleep") + &num_f64(savings.opt_sleep),
-                    json::key("opt_hybrid") + &num_f64(savings.opt_hybrid),
-                ]))
+                Ok(leakage_jobs::render_sweep_row(
+                    &point.benchmark,
+                    point.side,
+                    point.node,
+                    &savings,
+                ))
             })
             .collect()
     });
@@ -883,6 +990,21 @@ fn sweep(request: &Request, ctx: &RouteContext, stage: &StageTrace) -> Response 
 mod tests {
     use super::*;
 
+    fn test_fabric() -> Arc<JobFabric> {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "leakage-routes-jobs-{}-{seq}",
+            std::process::id()
+        ));
+        JobFabric::start(leakage_jobs::FabricConfig {
+            jobs_dir: dir,
+            workers: 1,
+            ..leakage_jobs::FabricConfig::default()
+        })
+        .expect("start test fabric")
+    }
+
     fn ctx_with_catalog(preserialize: bool) -> RouteContext {
         RouteContext {
             store: ProfileStore::global(),
@@ -895,6 +1017,7 @@ mod tests {
             limit_wait: Duration::from_millis(200),
             retry_after_secs: 1,
             metrics: HotMetrics::resolve(),
+            jobs: test_fabric(),
             recorder: Some(Arc::new(FlightRecorder::new(64))),
             info: ServerInfo::new("test", 0),
         }
@@ -938,6 +1061,8 @@ mod tests {
         assert_eq!(route_name(&get("/v1/table/2", &[])), "table");
         assert_eq!(route_name(&get("/v1/figure/8", &[])), "figure");
         assert_eq!(route_name(&get("/v1/sweep", &[])), "sweep");
+        assert_eq!(route_name(&get("/v1/jobs", &[])), "jobs");
+        assert_eq!(route_name(&get("/v1/jobs/j123/result", &[])), "jobs");
         assert_eq!(route_name(&get("/debug/requests", &[])), "debug");
         assert_eq!(route_name(&get("/nope", &[])), "not_found");
         for route in ROUTES {
@@ -1216,6 +1341,97 @@ mod tests {
         let catalog_hit = handle(&request, &ctx).to_bytes(true);
         let fresh = handle(&request, &ctx_with_catalog(false)).to_bytes(true);
         assert_eq!(catalog_hit, fresh);
+    }
+
+    #[test]
+    fn jobs_routes_cover_the_full_lifecycle_without_workers() {
+        let ctx = ctx();
+        // A present-but-empty benchmarks axis is a legal zero-point
+        // job: it completes without spawning a single worker, which
+        // lets this unit test drive every route tier in-process.
+        let mut request = get("/v1/jobs", &[]);
+        request.method = "POST".into();
+        request.body = br#"{"name": "unit-empty", "benchmarks": []}"#.to_vec();
+        let created = handle(&request, &ctx);
+        assert_eq!(created.status(), 201, "{}", body_text(&created));
+        let doc = json::parse(&body_text(&created)).unwrap();
+        let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+
+        // Idempotent resubmission: same spec, same id, 200 not 201.
+        let again = handle(&request, &ctx);
+        assert_eq!(again.status(), 200);
+
+        // Same name, different spec: refused.
+        let mut conflict = request.clone();
+        conflict.body = br#"{"name": "unit-empty", "benchmarks": ["gzip"]}"#.to_vec();
+        assert_eq!(handle(&conflict, &ctx).status(), 409);
+
+        // The empty job completes without workers; wait for the runner.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let status = handle(&get(&format!("/v1/jobs/{id}"), &[]), &ctx);
+            assert_eq!(status.status(), 200);
+            let doc = json::parse(&body_text(&status)).unwrap();
+            match doc.get("state").and_then(Json::as_str) {
+                Some("done") => break,
+                Some(state) if Instant::now() < deadline => {
+                    assert!(matches!(state, "queued" | "running"), "{state}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => panic!("job never completed: {other:?}"),
+            }
+        }
+
+        // List shows it; status responses are never cached.
+        let list = handle(&get("/v1/jobs", &[]), &ctx);
+        assert!(body_text(&list).contains("unit-empty"));
+        assert!(ctx.cache.is_empty(), "job responses must bypass the LRU");
+
+        // Pagination boundaries on the empty result set.
+        let result = handle(&get(&format!("/v1/jobs/{id}/result"), &[]), &ctx);
+        assert_eq!(result.status(), 200, "{}", body_text(&result));
+        let doc = json::parse(&body_text(&result)).unwrap();
+        assert_eq!(doc.get("total_points").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            doc.get("rows").and_then(Json::as_array).map(<[Json]>::len),
+            Some(0)
+        );
+        let past_end = handle(
+            &get(&format!("/v1/jobs/{id}/result"), &[("page", "99")]),
+            &ctx,
+        );
+        assert_eq!(past_end.status(), 200);
+        assert_eq!(
+            handle(
+                &get(&format!("/v1/jobs/{id}/result"), &[("per_page", "0")]),
+                &ctx,
+            )
+            .status(),
+            400
+        );
+        assert_eq!(
+            handle(
+                &get(&format!("/v1/jobs/{id}/result"), &[("per_page", "abc")]),
+                &ctx,
+            )
+            .status(),
+            400
+        );
+
+        // Unknown ids and bad bodies.
+        assert_eq!(handle(&get("/v1/jobs/jdeadbeef", &[]), &ctx).status(), 404);
+        let mut bad = request.clone();
+        bad.body = b"not json".to_vec();
+        assert_eq!(handle(&bad, &ctx).status(), 400);
+        let mut bad_spec = request.clone();
+        bad_spec.body = br#"{"name": "x", "nodes": ["90nm"]}"#.to_vec();
+        assert_eq!(handle(&bad_spec, &ctx).status(), 400);
+
+        // Canceling a finished job is a conflict.
+        let mut delete = get(&format!("/v1/jobs/{id}"), &[]);
+        delete.method = "DELETE".into();
+        assert_eq!(handle(&delete, &ctx).status(), 409);
+        ctx.jobs.stop();
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`experiments`] — the harness regenerating every table and figure.
 //! * [`faults`] — typed errors, deterministic fault injection
 //!   (`LEAKAGE_FAULTS`), and retry helpers.
+//! * [`jobs`] — the durable distributed sweep-job fabric: sharded
+//!   million-point generalized-model jobs with checkpoint/resume.
 //! * [`telemetry`] — the metrics registry, span tracing, and the
 //!   canonical JSON codec.
 //! * [`server`] — the dependency-free HTTP analysis service and its
@@ -47,6 +49,7 @@ pub use leakage_energy as energy;
 pub use leakage_experiments as experiments;
 pub use leakage_faults as faults;
 pub use leakage_intervals as intervals;
+pub use leakage_jobs as jobs;
 pub use leakage_online as online;
 pub use leakage_prefetch as prefetch;
 pub use leakage_server as server;
