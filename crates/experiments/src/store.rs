@@ -62,7 +62,7 @@ use crate::pipeline::{profile_benchmark_with, BenchmarkProfile};
 use leakage_cachesim::{CacheConfig, HierarchyConfig};
 use leakage_faults::checksum::Fnv64;
 use leakage_faults::{panic_message, Backoff, StoreError};
-use leakage_telemetry::{warn, Counter};
+use leakage_telemetry::{counter, warn, Counter};
 use leakage_workloads::{by_name, Scale, GENERATOR_VERSION};
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -413,6 +413,21 @@ impl ProfileStore {
                 warn!(
                     "deleted corrupt profile {} (quarantine move failed): {reason}",
                     path.display()
+                );
+            }
+        }
+        // The pen keeps evidence, not an archive: cap it so repeated
+        // corruption (or a chaos run) cannot fill the disk.
+        if let Some(pen) = path.parent().map(|dir| dir.join(QUARANTINE_SUBDIR)) {
+            let evicted = leakage_faults::quarantine::enforce_budget(
+                &pen,
+                leakage_faults::quarantine::budget_from_env(),
+            );
+            if evicted.files > 0 {
+                counter!("quarantined_evicted_total").add(evicted.files);
+                warn!(
+                    "profile quarantine pen over budget; evicted {} file(s) / {} byte(s)",
+                    evicted.files, evicted.bytes
                 );
             }
         }

@@ -27,6 +27,10 @@
 //! * **Checksums** ([`checksum`]): the FNV-1a integrity primitive the
 //!   profile codec's footer and the store's cache keys share.
 //!
+//! * **Quarantine budgets** ([`quarantine`]): oldest-first eviction
+//!   that caps how much corrupt-file evidence a `quarantine/` pen may
+//!   accumulate, so sustained fault injection cannot fill the disk.
+//!
 //! The crate is dependency-free and makes no policy decisions itself —
 //! what is retried, what is isolated, and what aborts is documented in
 //! `DESIGN.md` ("Failure model & degradation policy") and implemented
@@ -38,10 +42,12 @@
 pub mod checksum;
 mod error;
 pub mod inject;
+pub mod quarantine;
 pub mod retry;
 
 pub use error::{panic_message, PipelineError, StoreError, TraceError};
 pub use inject::{
-    corrupt_point, io_point, panic_point, plane, set_plane, Plane, SpecError, FAULTS_ENV,
+    corrupt_point, drop_point, dup_point, io_point, panic_point, plane, set_plane, Plane,
+    SpecError, FAULTS_ENV,
 };
-pub use retry::{retry, Backoff, Transient};
+pub use retry::{retry, Backoff, JitteredBackoff, Transient};

@@ -1,0 +1,148 @@
+//! Byte-budget enforcement for quarantine pens.
+//!
+//! Corrupt artifacts (profiles, job checkpoints) are moved into a
+//! sibling `quarantine/` directory instead of being deleted, so a
+//! post-mortem can inspect the exact bytes that failed verification.
+//! Under sustained fault injection — or a genuinely sick disk — that
+//! evidence would otherwise grow without bound. [`enforce_budget`]
+//! caps a pen at a byte budget by evicting the *oldest* files first:
+//! the newest evidence is the most likely to still matter.
+//!
+//! This crate is dependency-free, so the helper reports what it
+//! evicted and the call sites own the `quarantined_evicted_total`
+//! accounting.
+
+use std::fs;
+use std::path::Path;
+use std::time::SystemTime;
+
+/// Environment variable overriding the quarantine byte budget shared
+/// by all pens. Unset means [`DEFAULT_BUDGET_BYTES`].
+pub const QUARANTINE_BUDGET_ENV: &str = "LEAKAGE_QUARANTINE_BUDGET";
+
+/// Default per-pen budget: 64 MiB of quarantined evidence.
+pub const DEFAULT_BUDGET_BYTES: u64 = 64 * 1024 * 1024;
+
+/// What one [`enforce_budget`] pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Evicted {
+    /// Files deleted, oldest first.
+    pub files: u64,
+    /// Their combined size in bytes.
+    pub bytes: u64,
+}
+
+/// The configured pen budget: [`QUARANTINE_BUDGET_ENV`] when set to a
+/// parseable byte count, otherwise [`DEFAULT_BUDGET_BYTES`].
+pub fn budget_from_env() -> u64 {
+    std::env::var(QUARANTINE_BUDGET_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(DEFAULT_BUDGET_BYTES)
+}
+
+/// Deletes the oldest files in `pen` until its total size fits
+/// `budget` bytes. A missing pen is an empty pen; subdirectories are
+/// left alone (pens are flat). Files whose metadata cannot be read are
+/// skipped rather than guessed at, and deletion failures (e.g. a
+/// concurrent reader on some platforms) are tolerated — the next
+/// quarantine pass retries them.
+pub fn enforce_budget(pen: &Path, budget: u64) -> Evicted {
+    let Ok(entries) = fs::read_dir(pen) else {
+        return Evicted::default();
+    };
+    let mut files: Vec<(SystemTime, u64, std::path::PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let meta = entry.metadata().ok()?;
+            if !meta.is_file() {
+                return None;
+            }
+            let stamp = meta.modified().ok()?;
+            Some((stamp, meta.len(), entry.path()))
+        })
+        .collect();
+    let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+    if total <= budget {
+        return Evicted::default();
+    }
+    // Oldest first; ties broken by name so eviction order is stable.
+    files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+    let mut evicted = Evicted::default();
+    for (_, len, path) in files {
+        if total <= budget {
+            break;
+        }
+        if fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
+            evicted.files += 1;
+            evicted.bytes += len;
+        }
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn pen(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "leakage-quarantine-budget-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn drop_file(dir: &Path, name: &str, bytes: usize, age_secs: u64) {
+        let path = dir.join(name);
+        fs::write(&path, vec![b'x'; bytes]).unwrap();
+        // Backdate via mtime so "oldest" is deterministic without
+        // sleeping between writes.
+        let stamp = SystemTime::now() - std::time::Duration::from_secs(age_secs);
+        let file = fs::File::options().append(true).open(&path).unwrap();
+        file.set_modified(stamp).unwrap();
+    }
+
+    #[test]
+    fn under_budget_pens_are_untouched() {
+        let dir = pen("under");
+        drop_file(&dir, "a", 100, 30);
+        drop_file(&dir, "b", 100, 10);
+        assert_eq!(enforce_budget(&dir, 1000), Evicted::default());
+        assert!(dir.join("a").exists() && dir.join("b").exists());
+    }
+
+    #[test]
+    fn oldest_files_evict_first_until_the_budget_fits() {
+        let dir = pen("evict");
+        drop_file(&dir, "oldest", 400, 300);
+        drop_file(&dir, "middle", 400, 200);
+        drop_file(&dir, "newest", 400, 100);
+        let evicted = enforce_budget(&dir, 900);
+        assert_eq!(
+            evicted,
+            Evicted {
+                files: 1,
+                bytes: 400
+            }
+        );
+        assert!(!dir.join("oldest").exists(), "oldest goes first");
+        assert!(dir.join("middle").exists());
+        assert!(dir.join("newest").exists());
+        // Shrinking the budget keeps evicting in age order.
+        let evicted = enforce_budget(&dir, 350);
+        assert_eq!(evicted.files, 2, "both survivors exceed 350 bytes");
+        assert!(!dir.join("middle").exists());
+        assert!(!dir.join("newest").exists());
+    }
+
+    #[test]
+    fn missing_pens_are_empty_pens() {
+        let ghost = std::env::temp_dir().join("leakage-quarantine-ghost-pen");
+        assert_eq!(enforce_budget(&ghost, 0), Evicted::default());
+    }
+}

@@ -250,6 +250,22 @@ pub fn quarantine(path: &Path, reason: &str) {
             );
         }
     }
+    // A pen that grows without bound under sustained corruption (or a
+    // chaos run) would eventually take the disk down with it; keep the
+    // newest evidence, evict the oldest.
+    let evicted = leakage_faults::quarantine::enforce_budget(
+        &pen,
+        leakage_faults::quarantine::budget_from_env(),
+    );
+    if evicted.files > 0 {
+        counter!("quarantined_evicted_total").add(evicted.files);
+        warn!(
+            "jobs: quarantine pen over budget; evicted {} file(s) / {} byte(s) from {}",
+            evicted.files,
+            evicted.bytes,
+            pen.display()
+        );
+    }
 }
 
 /// Durably persists a completed chunk into `dir` and verifies it by

@@ -8,7 +8,8 @@
 //! job.json            canonical spec, written atomically at submit
 //! chunk-NNNNNN.ckpt   one durable checkpoint per completed chunk
 //! canceled            empty marker: the job was canceled, never resume
-//! quarantine/         corrupt checkpoints, moved verbatim
+//! quarantine/         corrupt checkpoints, moved verbatim (byte-capped)
+//! leases/             deadline-stamped chunk ownership (epoch per chunk)
 //! ```
 //!
 //! Every piece of job state that matters is on disk before it is
@@ -21,18 +22,30 @@
 //! functions of `(spec, chunk ordinal)`, which is why a resumed run is
 //! byte-identical to an uninterrupted one.
 //!
-//! The runner speaks the [`crate::protocol`] to locally-spawned worker
-//! processes. A worker that exits, panics (armed `jobs/chunk` fault),
-//! or stalls past the deadline is killed and its in-flight chunk goes
-//! back on the pending queue; a bounded respawn budget and a per-chunk
-//! attempt cap turn pathological loops into a `failed` job instead of
-//! a hung one.
+//! The runner speaks the [`crate::protocol`] over
+//! [`crate::transport::WorkerTransport`] links: locally-spawned stdio
+//! children, plus — when `FabricConfig::listen` is set — remote TCP
+//! workers admitted through the shared [`RemoteGate`] pool. A local
+//! worker that exits, panics (armed `jobs/chunk` fault), or stalls
+//! past the deadline is killed and its in-flight chunk goes back on
+//! the pending queue; a bounded respawn budget and a per-chunk attempt
+//! cap turn pathological loops into a `failed` job instead of a hung
+//! one.
+//!
+//! Remote workers cannot be distinguished from a slow network by
+//! process observation, so their failure handling is lease-based: a
+//! worker that misses heartbeats (or stalls) has its chunk's lease
+//! *expired* — the epoch bumps, the chunk returns to the queue — while
+//! the link stays open in case the partition heals. Frames that arrive
+//! after expiry lose the epoch comparison and are discarded
+//! (`jobs_late_commits_discarded_total`); the first durable checkpoint
+//! always wins, which also absorbs `net/dup` duplicate frames.
 
 use std::collections::{HashMap, VecDeque};
 use std::fs;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader};
 use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, Command, Stdio};
+use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -46,8 +59,10 @@ use crate::checkpoint::{
     self, chunk_file_name, parse_chunk_file_name, quarantine, read_chunk, write_chunk, ChunkFile,
     CkptError,
 };
+use crate::lease::LeaseManager;
 use crate::protocol::{rows_checksum, Assign, Hello, WorkerFrame};
 use crate::spec::{JobSpec, SpecError};
+use crate::transport::{RemoteGate, SocketTransport, StdioTransport, WorkerTransport};
 
 /// Environment override for the worker executable path.
 pub const WORKER_BIN_ENV: &str = "LEAKAGE_JOB_WORKER_BIN";
@@ -79,6 +94,17 @@ pub struct FabricConfig {
     pub worker_env: Vec<(String, String)>,
     /// Maximum queued + running jobs before submits are refused.
     pub max_active_jobs: usize,
+    /// TCP address for remote workers (`None`: stdio workers only).
+    /// With a listener and `workers: 0`, jobs run on remote workers
+    /// exclusively.
+    pub listen: Option<String>,
+    /// Shared admission token remote workers must present; `None`
+    /// admits any well-formed hello.
+    pub token: Option<String>,
+    /// A remote worker silent for longer than this has its chunk's
+    /// lease expired and reassigned (the link is kept, in case the
+    /// partition heals).
+    pub heartbeat_timeout: Duration,
 }
 
 impl Default for FabricConfig {
@@ -90,6 +116,9 @@ impl Default for FabricConfig {
             worker_bin: None,
             worker_env: Vec::new(),
             max_active_jobs: 4,
+            listen: None,
+            token: None,
+            heartbeat_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -142,8 +171,31 @@ struct StatusState {
     reassigned_chunks: u64,
     worker_restarts: u64,
     quarantined: u64,
+    /// Chunk answers discarded because their lease epoch had been
+    /// superseded (or the chunk was already durably committed).
+    late_commits: u64,
+    /// Leases revoked after missed heartbeats or a stall.
+    leases_expired: u64,
     error: Option<String>,
     workers: Vec<WorkerView>,
+}
+
+impl StatusState {
+    fn fresh(state: JobState) -> StatusState {
+        StatusState {
+            state,
+            chunks_done: 0,
+            points_done: 0,
+            resumed_chunks: 0,
+            reassigned_chunks: 0,
+            worker_restarts: 0,
+            quarantined: 0,
+            late_commits: 0,
+            leases_expired: 0,
+            error: None,
+            workers: Vec::new(),
+        }
+    }
 }
 
 /// One registered job: spec + directory + observable status + runner.
@@ -222,6 +274,9 @@ pub struct JobFabric {
     config: FabricConfig,
     jobs: Mutex<HashMap<String, Arc<JobHandle>>>,
     shutting_down: AtomicBool,
+    /// The remote-worker listener, when `config.listen` is set. All
+    /// runners draw admitted sessions from this one pool.
+    remote: Option<Arc<RemoteGate>>,
 }
 
 impl JobFabric {
@@ -236,10 +291,15 @@ impl JobFabric {
     /// a missing directory is simply an empty fabric (it is created
     /// lazily on first submit).
     pub fn start(config: FabricConfig) -> io::Result<Arc<JobFabric>> {
+        let remote = match &config.listen {
+            Some(addr) => Some(RemoteGate::bind(addr, config.token.clone())?),
+            None => None,
+        };
         let fabric = Arc::new(JobFabric {
             config,
             jobs: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
+            remote,
         });
         let dir = fabric.config.jobs_dir.clone();
         if dir.is_dir() {
@@ -280,17 +340,11 @@ impl JobFabric {
             id: id.clone(),
             spec,
             dir: job_dir.to_path_buf(),
-            status: Mutex::new(StatusState {
-                state: if canceled { JobState::Canceled } else { JobState::Queued },
-                chunks_done: 0,
-                points_done: 0,
-                resumed_chunks: 0,
-                reassigned_chunks: 0,
-                worker_restarts: 0,
-                quarantined: 0,
-                error: None,
-                workers: Vec::new(),
-            }),
+            status: Mutex::new(StatusState::fresh(if canceled {
+                JobState::Canceled
+            } else {
+                JobState::Queued
+            })),
             cancel: AtomicBool::new(canceled),
             stop: AtomicBool::new(false),
             runner: Mutex::new(None),
@@ -349,17 +403,7 @@ impl JobFabric {
                 id: id.clone(),
                 spec,
                 dir,
-                status: Mutex::new(StatusState {
-                    state: JobState::Queued,
-                    chunks_done: 0,
-                    points_done: 0,
-                    resumed_chunks: 0,
-                    reassigned_chunks: 0,
-                    worker_restarts: 0,
-                    quarantined: 0,
-                    error: None,
-                    workers: Vec::new(),
-                }),
+                status: Mutex::new(StatusState::fresh(JobState::Queued)),
                 cancel: AtomicBool::new(false),
                 stop: AtomicBool::new(false),
                 runner: Mutex::new(None),
@@ -389,6 +433,8 @@ impl JobFabric {
             json::key("reassigned_chunks") + &status.reassigned_chunks.to_string(),
             json::key("worker_restarts") + &status.worker_restarts.to_string(),
             json::key("quarantined") + &status.quarantined.to_string(),
+            json::key("late_commits") + &status.late_commits.to_string(),
+            json::key("leases_expired") + &status.leases_expired.to_string(),
             json::key("error")
                 + &status
                     .error
@@ -582,6 +628,21 @@ impl JobFabric {
                 let _ = join.join();
             }
         }
+        if let Some(gate) = &self.remote {
+            gate.stop();
+        }
+    }
+
+    /// The bound remote-worker listener address, when one is
+    /// configured.
+    pub fn remote_addr(&self) -> Option<std::net::SocketAddr> {
+        self.remote.as_ref().map(|gate| gate.addr())
+    }
+
+    /// Remote workers currently connected (admitted, link alive);
+    /// `None` when no listener is configured.
+    pub fn remote_connected(&self) -> Option<usize> {
+        self.remote.as_ref().map(|gate| gate.connected())
     }
 
     fn spawn_runner(self: &Arc<Self>, handle: Arc<JobHandle>) {
@@ -656,19 +717,30 @@ enum Event {
         chunk: u64,
         error: String,
     },
-    /// The worker's stdout closed or spoke garbage; `reason` is for
+    /// A remote worker's liveness beat (stdio workers never send one).
+    Heartbeat(usize),
+    /// The worker's stream closed or spoke garbage; `reason` is for
     /// logs. Sent at most once per worker.
     Gone { worker: usize, reason: String },
 }
 
 struct WorkerSlot {
-    child: Child,
-    stdin: Option<ChildStdin>,
-    pid: u32,
+    link: Box<dyn WorkerTransport>,
     assigned: Option<Assign>,
+    /// Lease epoch the current assignment was granted under; a chunk
+    /// answer only commits while this still matches the lease table.
+    epoch: u64,
     assigned_at: Instant,
-    /// We closed stdin on purpose; the coming `Gone` is expected.
+    /// Last frame of any kind (heartbeats included) from this worker.
+    last_heard: Instant,
+    /// We closed the worker's input on purpose; the coming `Gone` is
+    /// expected.
     retired: bool,
+    /// An assignment revoked by lease expiry: `(chunk, epoch)`. The
+    /// link stays open; if the partition heals, the worker's stale
+    /// answer for this chunk is discarded silently instead of being
+    /// treated as a protocol violation.
+    revoked: Option<(u64, u64)>,
     reader: Option<thread::JoinHandle<()>>,
 }
 
@@ -679,15 +751,20 @@ struct Runner {
     attempts: HashMap<u64, u32>,
     done: Vec<bool>,
     slots: Vec<Option<WorkerSlot>>,
+    leases: LeaseManager,
     events_tx: mpsc::Sender<Event>,
     events_rx: mpsc::Receiver<Event>,
     spawns_left: u64,
+    /// Separate budget for admitting remote sessions, so a flapping
+    /// network cannot drain the local respawn budget (or vice versa).
+    remote_admits_left: u64,
 }
 
 impl Runner {
     fn new(fabric: Arc<JobFabric>, job: Arc<JobHandle>) -> Runner {
         let (events_tx, events_rx) = mpsc::channel();
         let chunks = job.spec.chunk_count();
+        let leases = LeaseManager::open(&job.dir);
         Runner {
             fabric,
             job,
@@ -695,9 +772,11 @@ impl Runner {
             attempts: HashMap::new(),
             done: vec![false; chunks as usize],
             slots: Vec::new(),
+            leases,
             events_tx,
             events_rx,
             spawns_left: chunks.max(16),
+            remote_admits_left: (chunks * 4).max(64),
         }
     }
 
@@ -713,9 +792,17 @@ impl Runner {
             let mut status = self.job.status.lock().unwrap();
             status.state = JobState::Running;
         }
-        let want = self.fabric.config.workers.max(1).min(self.pending.len().max(1));
+        // With a remote listener the fabric may legitimately run zero
+        // local workers; without one, at least one local worker is the
+        // only way the job can make progress.
+        let local = if self.fabric.remote.is_some() {
+            self.fabric.config.workers
+        } else {
+            self.fabric.config.workers.max(1)
+        };
+        let want = local.min(self.pending.len().max(1));
         for _ in 0..want {
-            if let Err(err) = self.spawn_worker() {
+            if let Err(err) = self.spawn_local_worker() {
                 self.fail(format!("spawning worker: {err}"));
                 self.teardown(false);
                 return;
@@ -736,13 +823,18 @@ impl Runner {
                 status.workers.clear();
                 return;
             }
+            self.admit_remote();
             match self.events_rx.recv_timeout(Duration::from_millis(100)) {
                 Ok(event) => {
                     if !self.handle_event(event) {
                         return; // job reached a terminal state
                     }
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => self.kill_stalled(),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !self.check_deadlines() {
+                        return;
+                    }
+                }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     self.fail("all worker channels closed unexpectedly".to_string());
                     self.teardown(false);
@@ -837,13 +929,13 @@ impl Runner {
             .count()
     }
 
-    fn spawn_worker(&mut self) -> io::Result<()> {
+    fn spawn_local_worker(&mut self) -> io::Result<()> {
         if self.spawns_left == 0 {
             return Err(io::Error::other("worker respawn budget exhausted"));
         }
         self.spawns_left -= 1;
         let bin = resolve_worker_bin(&self.fabric.config);
-        let mut child = retry(Backoff::DISK, |_| {
+        let child = retry(Backoff::DISK, |_| {
             io_point("jobs/spawn")?;
             let mut command = Command::new(&bin);
             command
@@ -856,28 +948,69 @@ impl Runner {
             }
             command.spawn()
         })?;
-        let pid = child.id();
-        let mut stdin = child.stdin.take().expect("piped worker stdin");
-        let stdout = child.stdout.take().expect("piped worker stdout");
+        let link = Box::new(StdioTransport::new(child));
+        self.attach_worker(link)
+    }
+
+    /// Adopts pooled remote sessions while there is unassigned work
+    /// for them. Called every loop tick; a no-op without a listener.
+    fn admit_remote(&mut self) {
+        let Some(gate) = self.fabric.remote.clone() else {
+            return;
+        };
+        loop {
+            if self.remote_admits_left == 0 {
+                return;
+            }
+            let idle = self
+                .slots
+                .iter()
+                .flatten()
+                .filter(|s| !s.retired && s.assigned.is_none())
+                .count();
+            if self.pending.len() <= idle {
+                return;
+            }
+            let Some(session) = gate.take() else {
+                return;
+            };
+            let link = match SocketTransport::adopt(session) {
+                Ok(link) => Box::new(link),
+                Err(_) => continue, // died while pooled
+            };
+            self.remote_admits_left -= 1;
+            if self.attach_worker(link).is_err() {
+                // The hello write failed: a dead pooled socket, not a
+                // fabric problem. Try the next session.
+                continue;
+            }
+        }
+    }
+
+    /// Wires a transport into a slot: sends the job hello, spawns the
+    /// reader thread, publishes the roster.
+    fn attach_worker(&mut self, mut link: Box<dyn WorkerTransport>) -> io::Result<()> {
         let hello = Hello {
             job_id: self.job.id.clone(),
             spec: self.job.spec.clone(),
         };
-        writeln!(stdin, "{}", hello.encode())?;
-        stdin.flush()?;
+        link.send_line(&hello.encode())?;
+        let stream = link.take_reader().expect("worker transport reader");
         let worker = self.slots.len();
         let tx = self.events_tx.clone();
         let reader = thread::Builder::new()
             .name(format!("job-worker-read-{worker}"))
-            .spawn(move || read_worker(worker, stdout, &tx))
+            .spawn(move || read_worker(worker, stream, &tx))
             .expect("spawn worker reader thread");
+        let now = Instant::now();
         self.slots.push(Some(WorkerSlot {
-            child,
-            stdin: Some(stdin),
-            pid,
+            link,
             assigned: None,
-            assigned_at: Instant::now(),
+            epoch: 0,
+            assigned_at: now,
+            last_heard: now,
             retired: false,
+            revoked: None,
             reader: Some(reader),
         }));
         self.publish_workers();
@@ -890,7 +1023,7 @@ impl Runner {
             .iter()
             .flatten()
             .map(|slot| WorkerView {
-                pid: slot.pid,
+                pid: slot.link.id(),
                 chunk: slot.assigned.map(|a| a.chunk),
                 alive: !slot.retired,
             })
@@ -898,33 +1031,43 @@ impl Runner {
         self.job.status.lock().unwrap().workers = views;
     }
 
-    /// Feeds the next pending chunk to `worker`, or retires it (closes
-    /// stdin) when nothing is left.
+    /// Feeds the next pending chunk to `worker` under a fresh lease,
+    /// or retires it (closes its input) when nothing is left.
     fn assign_next(&mut self, worker: usize) {
+        let link_id = match self.slots[worker].as_ref() {
+            // A duplicated `ready` frame (net/dup) or a heartbeat on a
+            // busy worker must not double-assign.
+            Some(slot) if slot.assigned.is_some() => return,
+            Some(slot) => slot.link.id(),
+            None => return,
+        };
         let Some(chunk) = self.pending.pop_front() else {
             if let Some(slot) = self.slots[worker].as_mut() {
                 slot.retired = true;
-                slot.stdin = None; // drop → EOF → worker exits 0
+                slot.link.close_input(); // EOF → worker exits 0
             }
             self.publish_workers();
             return;
         };
+        let epoch = self
+            .leases
+            .acquire(chunk, link_id, self.fabric.config.stall_deadline);
         let (start, end) = self.job.spec.chunk_range(chunk);
         let assign = Assign { chunk, start, end };
         let write = self.slots[worker]
             .as_mut()
-            .and_then(|slot| slot.stdin.as_mut())
-            .map(|stdin| writeln!(stdin, "{}", assign.encode()).and_then(|()| stdin.flush()));
+            .map(|slot| slot.link.send_line(&assign.encode()));
         match write {
             Some(Ok(())) => {
                 if let Some(slot) = self.slots[worker].as_mut() {
                     slot.assigned = Some(assign);
+                    slot.epoch = epoch;
                     slot.assigned_at = Instant::now();
                 }
                 self.publish_workers();
             }
             _ => {
-                // Broken pipe: the worker is dead or dying; requeue
+                // Broken link: the worker is dead or dying; requeue
                 // and let its `Gone` event drive the respawn.
                 self.pending.push_front(chunk);
                 self.kill_worker(worker, "assignment write failed");
@@ -932,18 +1075,80 @@ impl Runner {
         }
     }
 
+    /// Records that `worker` spoke: every frame is proof of liveness.
+    fn touch(&mut self, worker: usize) {
+        if let Some(slot) = self.slots[worker].as_mut() {
+            slot.last_heard = Instant::now();
+        }
+    }
+
     /// Returns `false` when the job reached a terminal state.
     fn handle_event(&mut self, event: Event) -> bool {
         match event {
             Event::Ready(worker) => {
+                self.touch(worker);
                 self.assign_next(worker);
                 true
             }
+            Event::Heartbeat(worker) => {
+                self.touch(worker);
+                // A beat from an idle worker is also an offer to work:
+                // this is how a worker whose assignment was revoked
+                // (expired lease, dropped frame) gets back in rotation
+                // once its link proves alive again.
+                let idle = self.slots[worker]
+                    .as_ref()
+                    .is_some_and(|s| !s.retired && s.assigned.is_none());
+                if idle && !self.pending.is_empty() {
+                    self.assign_next(worker);
+                }
+                true
+            }
             Event::ChunkDone { worker, chunk, rows } => {
-                let expected = self.slots[worker].as_ref().and_then(|s| s.assigned);
-                if expected.map(|a| a.chunk) != Some(chunk) {
-                    self.kill_worker(worker, "answered a chunk it was not assigned");
-                    return self.ensure_progress();
+                self.touch(worker);
+                let assigned = self.slots[worker].as_ref().and_then(|s| s.assigned);
+                let epoch = self.slots[worker].as_ref().map_or(0, |s| s.epoch);
+                let owns = assigned.map(|a| a.chunk) == Some(chunk)
+                    && self.leases.current(chunk) == epoch
+                    && !self.done[chunk as usize];
+                if !owns {
+                    let was_revoked = self.slots[worker]
+                        .as_ref()
+                        .and_then(|s| s.revoked)
+                        .map(|(c, _)| c)
+                        == Some(chunk);
+                    let late = was_revoked
+                        || self.done[chunk as usize]
+                        || assigned.map(|a| a.chunk) == Some(chunk);
+                    if !late {
+                        // Never assigned, never revoked: a protocol
+                        // violation, not a race.
+                        self.kill_worker(worker, "answered a chunk it was not assigned");
+                        return self.ensure_progress();
+                    }
+                    // The first durable checkpoint already won (or a
+                    // newer lease holder is about to write it): this
+                    // answer arrived too late. Discard it, keep the
+                    // worker.
+                    counter!("jobs_late_commits_discarded_total").inc();
+                    self.job.status.lock().unwrap().late_commits += 1;
+                    debug!(
+                        "jobs: {} discarding late commit of chunk {chunk} from worker {worker}",
+                        self.job.id
+                    );
+                    if let Some(slot) = self.slots[worker].as_mut() {
+                        if slot.assigned.map(|a| a.chunk) == Some(chunk) {
+                            slot.assigned = None;
+                        }
+                        if was_revoked {
+                            slot.revoked = None;
+                        }
+                    }
+                    if self.finish_if_complete() {
+                        return false;
+                    }
+                    self.assign_next(worker);
+                    return true;
                 }
                 let (start, end) = self.job.spec.chunk_range(chunk);
                 if rows.len() as u64 != end - start {
@@ -961,6 +1166,7 @@ impl Runner {
                 match write_chunk(&self.job.dir, &file) {
                     Ok(_) => {
                         self.done[chunk as usize] = true;
+                        self.leases.release(chunk);
                         if let Some(slot) = self.slots[worker].as_mut() {
                             slot.assigned = None;
                         }
@@ -983,23 +1189,34 @@ impl Runner {
                 true
             }
             Event::ChunkErr { worker, chunk, error } => {
-                if let Some(slot) = self.slots[worker].as_mut() {
-                    if slot.assigned.map(|a| a.chunk) == Some(chunk) {
+                self.touch(worker);
+                let matched = self.slots[worker]
+                    .as_ref()
+                    .is_some_and(|s| s.assigned.map(|a| a.chunk) == Some(chunk));
+                if matched {
+                    if let Some(slot) = self.slots[worker].as_mut() {
                         slot.assigned = None;
                     }
-                }
-                self.requeue(chunk, &error);
-                if self.job_failed() {
-                    self.teardown(false);
-                    return false;
+                    self.requeue(chunk, &error);
+                    if self.job_failed() {
+                        self.teardown(false);
+                        return false;
+                    }
+                } else if let Some(slot) = self.slots[worker].as_mut() {
+                    // A stale error for a revoked chunk: the requeue
+                    // already happened at expiry. Just clear the
+                    // revocation.
+                    if slot.revoked.map(|(c, _)| c) == Some(chunk) {
+                        slot.revoked = None;
+                    }
                 }
                 self.assign_next(worker);
                 true
             }
             Event::Gone { worker, reason } => {
-                let (retired, assigned) = match self.slots[worker].as_ref() {
-                    Some(slot) => (slot.retired, slot.assigned),
-                    None => (true, None),
+                let (retired, assigned, local) = match self.slots[worker].as_ref() {
+                    Some(slot) => (slot.retired, slot.assigned, slot.link.is_local()),
+                    None => (true, None, true),
                 };
                 if retired {
                     self.reap(worker);
@@ -1016,7 +1233,7 @@ impl Runner {
                     self.teardown(false);
                     return false;
                 }
-                if !self.pending.is_empty() {
+                if local && !self.pending.is_empty() {
                     {
                         let mut status = self.job.status.lock().unwrap();
                         status.worker_restarts += 1;
@@ -1026,12 +1243,14 @@ impl Runner {
                         "jobs: {} worker {worker} lost ({reason}); respawning",
                         self.job.id
                     );
-                    if let Err(err) = self.spawn_worker() {
+                    if let Err(err) = self.spawn_local_worker() {
                         self.fail(format!("respawning worker: {err}"));
                         self.teardown(false);
                         return false;
                     }
                 }
+                // A lost *remote* worker is not respawned here: it
+                // redials on its own and re-enters through the gate.
                 self.ensure_progress()
             }
         }
@@ -1075,15 +1294,25 @@ impl Runner {
         counter!("jobs_failed_total").inc();
     }
 
-    fn kill_stalled(&mut self) {
-        let deadline = self.fabric.config.stall_deadline;
+    /// Timeout-tick sweep. Local workers holding a chunk past the
+    /// stall deadline are killed (their death is observable, so the
+    /// `Gone` event handles requeue). Remote workers cannot be killed
+    /// meaningfully — silence may be a partition — so their chunk's
+    /// *lease* expires instead: epoch bump, requeue, link kept open.
+    /// Returns `false` when the job reached a terminal state.
+    fn check_deadlines(&mut self) -> bool {
+        let stall = self.fabric.config.stall_deadline;
+        let hb = self.fabric.config.heartbeat_timeout;
         let stalled: Vec<usize> = self
             .slots
             .iter()
             .enumerate()
             .filter_map(|(i, slot)| {
                 let slot = slot.as_ref()?;
-                (slot.assigned.is_some() && !slot.retired && slot.assigned_at.elapsed() > deadline)
+                (slot.link.is_local()
+                    && slot.assigned.is_some()
+                    && !slot.retired
+                    && slot.assigned_at.elapsed() > stall)
                     .then_some(i)
             })
             .collect();
@@ -1091,27 +1320,69 @@ impl Runner {
             counter!("jobs_workers_stalled_total").inc();
             self.kill_worker(worker, "stall deadline exceeded");
         }
+        let expired: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let slot = slot.as_ref()?;
+                (!slot.link.is_local()
+                    && slot.assigned.is_some()
+                    && !slot.retired
+                    && (slot.last_heard.elapsed() > hb || slot.assigned_at.elapsed() > stall))
+                    .then_some(i)
+            })
+            .collect();
+        let mut any_expired = false;
+        for worker in expired {
+            let Some(slot) = self.slots[worker].as_mut() else {
+                continue;
+            };
+            let Some(assign) = slot.assigned.take() else {
+                continue;
+            };
+            slot.revoked = Some((assign.chunk, slot.epoch));
+            self.leases.expire(assign.chunk);
+            counter!("jobs_leases_expired_total").inc();
+            {
+                let mut status = self.job.status.lock().unwrap();
+                status.leases_expired += 1;
+                status.reassigned_chunks += 1;
+            }
+            warn!(
+                "jobs: {} lease on chunk {} expired (worker {worker} silent); reassigning",
+                self.job.id, assign.chunk
+            );
+            self.requeue(assign.chunk, "lease expired");
+            any_expired = true;
+        }
+        if any_expired {
+            self.publish_workers();
+            if self.job_failed() {
+                self.teardown(false);
+                return false;
+            }
+        }
+        true
     }
 
-    /// Kills a worker process; its reader thread will observe EOF and
+    /// Severs a worker's link; its reader thread will observe EOF and
     /// deliver the `Gone` event that requeues + respawns.
     fn kill_worker(&mut self, worker: usize, reason: &str) {
         if let Some(slot) = self.slots[worker].as_mut() {
             warn!(
-                "jobs: {} killing worker pid {} ({reason})",
-                self.job.id, slot.pid
+                "jobs: {} killing worker {} ({reason})",
+                self.job.id,
+                slot.link.id()
             );
-            slot.stdin = None;
-            let _ = slot.child.kill();
+            slot.link.kill();
         }
     }
 
-    /// Reaps a finished worker: joins the reader, waits on the child.
+    /// Reaps a finished worker: severs the link, joins the reader.
     fn reap(&mut self, worker: usize) {
         if let Some(mut slot) = self.slots[worker].take() {
-            slot.stdin = None;
-            let _ = slot.child.kill();
-            let _ = slot.child.wait();
+            slot.link.reap();
             if let Some(reader) = slot.reader.take() {
                 let _ = reader.join();
             }
@@ -1119,15 +1390,15 @@ impl Runner {
         self.publish_workers();
     }
 
-    /// Kills every worker. With `graceful`, lets retirees finish first
-    /// (their stdin is already closed) — used on completion; otherwise
-    /// hard-kills — used for cancel/stop/fail.
+    /// Disconnects every worker. With `graceful`, lets retirees finish
+    /// first (their input is already closed) — used on completion;
+    /// otherwise hard-kills — used for cancel/stop/fail.
     fn teardown(&mut self, graceful: bool) {
         for worker in 0..self.slots.len() {
             if graceful {
                 if let Some(slot) = self.slots[worker].as_mut() {
                     slot.retired = true;
-                    slot.stdin = None;
+                    slot.link.close_input();
                 }
             }
             self.reap(worker);
@@ -1135,24 +1406,30 @@ impl Runner {
     }
 }
 
-/// Reader-thread body: turns a worker's stdout byte stream into
-/// [`Event`]s. Stateful framing — after a `ChunkStart` header the next
-/// `points` lines are verbatim rows — and the `chunk_end` checksum is
-/// verified *here*, so a corrupted pipe never reaches a checkpoint.
-fn read_worker(worker: usize, stdout: impl io::Read, tx: &mpsc::Sender<Event>) {
+/// Reader-thread body: turns a worker's byte stream (stdout pipe or
+/// TCP socket) into [`Event`]s. Stateful framing — after a
+/// `ChunkStart` header the next `points` lines are verbatim rows — and
+/// the `chunk_end` checksum is verified *here*, so a corrupted pipe
+/// never reaches a checkpoint.
+fn read_worker(worker: usize, stream: Box<dyn io::Read + Send>, tx: &mpsc::Sender<Event>) {
     let gone = |reason: String| Event::Gone { worker, reason };
-    let mut lines = BufReader::new(stdout).lines();
+    let mut lines = BufReader::new(stream).lines();
     let outcome = loop {
         let Some(line) = lines.next() else {
-            break gone("stdout closed".to_string());
+            break gone("stream closed".to_string());
         };
         let line = match line {
             Ok(line) => line,
-            Err(err) => break gone(format!("stdout read: {err}")),
+            Err(err) => break gone(format!("stream read: {err}")),
         };
         match WorkerFrame::parse(&line) {
             Ok(WorkerFrame::Ready(_)) => {
                 if tx.send(Event::Ready(worker)).is_err() {
+                    return;
+                }
+            }
+            Ok(WorkerFrame::Heartbeat(_)) => {
+                if tx.send(Event::Heartbeat(worker)).is_err() {
                     return;
                 }
             }

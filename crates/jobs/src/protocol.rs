@@ -1,9 +1,9 @@
 //! The coordinator↔worker wire protocol and the worker's main loop.
 //!
-//! Workers are separate processes talking line-delimited JSON over
-//! stdin/stdout — no shared memory, no sockets — so moving a worker to
-//! another machine is a transport change (ssh, a TCP shim), not a
-//! protocol change. The conversation per worker:
+//! Workers are separate processes talking line-delimited JSON — over
+//! stdin/stdout when the coordinator spawns them locally, or over a
+//! TCP stream when they dial `--job-listen` (see [`crate::transport`]).
+//! Both transports carry the same bytes. The conversation per worker:
 //!
 //! ```text
 //! coordinator → worker   {"job":{...canonical spec...},"id":"j…"}      (once)
@@ -15,6 +15,14 @@
 //!            — or —      {"chunk_err":N,"error":"…"}
 //! coordinator closes stdin → worker exits 0
 //! ```
+//!
+//! Remote sessions add two frames the stdio transport never uses: an
+//! admission line `{"worker":<pid>,"token":"…"}` sent by the worker
+//! immediately after connecting (checked against `--job-token` before
+//! the session joins the pool), and application-level heartbeats
+//! `{"hb":<seq>}` so the coordinator can tell a slow network from a
+//! dead worker. Stdio workers send neither, which keeps that transport
+//! byte-compatible with the pre-socket fabric.
 //!
 //! Rows travel verbatim (they are already canonical JSON) and are not
 //! re-parsed in flight; the `chunk_end` footer carries FNV-1a over the
@@ -126,6 +134,50 @@ impl Assign {
     }
 }
 
+/// The admission frame a remote worker sends immediately after
+/// connecting, before any job is in play: its pid (for status
+/// displays) and the shared token the listener checks before the
+/// session may join the pool. Stdio workers never send this — their
+/// parent/child link *is* the admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionHello {
+    /// The worker process id, as reported in job status.
+    pub pid: u32,
+    /// The shared secret; must match the coordinator's `--job-token`
+    /// when one is configured.
+    pub token: Option<String>,
+}
+
+impl SessionHello {
+    /// Encodes the admission frame (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut fields = vec![json::key("worker") + &self.pid.to_string()];
+        if let Some(token) = &self.token {
+            fields.push(json::key("token") + &json::string(token));
+        }
+        json::object(fields)
+    }
+
+    /// Parses an admission frame.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the line is not an admission frame.
+    pub fn parse(line: &str) -> io::Result<SessionHello> {
+        let doc = parse_frame(line)?;
+        let pid = doc
+            .get("worker")
+            .and_then(Json::as_f64)
+            .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+            .ok_or_else(|| bad_frame(line, "no \"worker\" field"))? as u32;
+        let token = doc
+            .get("token")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        Ok(SessionHello { pid, token })
+    }
+}
+
 /// A frame the worker sends upward. Row lines are *not* frames — the
 /// coordinator's reader counts them off after each `ChunkStart`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +205,9 @@ pub enum WorkerFrame {
         /// Human-readable cause, relayed into the job status.
         error: String,
     },
+    /// Remote-session liveness beacon (never sent over stdio); the
+    /// sequence number is monotonic per session.
+    Heartbeat(u64),
 }
 
 impl WorkerFrame {
@@ -172,6 +227,9 @@ impl WorkerFrame {
                 json::key("chunk_err") + &chunk.to_string(),
                 json::key("error") + &json::string(error),
             ]),
+            WorkerFrame::Heartbeat(seq) => {
+                json::object([json::key("hb") + &seq.to_string()])
+            }
         }
     }
 
@@ -190,6 +248,9 @@ impl WorkerFrame {
         };
         if let Some(pid) = doc.get("ready").and_then(|f| int(f)) {
             return Ok(WorkerFrame::Ready(pid as u32));
+        }
+        if let Some(seq) = doc.get("hb").and_then(|f| int(f)) {
+            return Ok(WorkerFrame::Heartbeat(seq));
         }
         if let Some(chunk) = doc.get("chunk_end").and_then(|f| int(f)) {
             let fnv1a = doc
@@ -243,7 +304,77 @@ fn bad_frame(line: &str, why: &str) -> io::Error {
     )
 }
 
-/// The worker main loop: reads the hello, answers `ready`, then
+/// Evaluates one assignment and renders the complete wire response —
+/// the `{"chunk":…}` header, the verbatim rows, and the sealing
+/// `chunk_end` (or a single `chunk_err` line), every line
+/// newline-terminated. The stdio and socket transports both emit this
+/// text unmodified, which is what keeps them byte-compatible; building
+/// the whole response before any byte leaves also lets the socket side
+/// send it under one writer lock so heartbeats can never interleave
+/// with rows.
+pub fn chunk_response(spec: &JobSpec, store: &ProfileStore, assign: &Assign) -> String {
+    if assign.end < assign.start || assign.end > spec.point_count() {
+        let frame = WorkerFrame::ChunkErr {
+            chunk: assign.chunk,
+            error: format!(
+                "assignment {}..{} outside job space of {} points",
+                assign.start,
+                assign.end,
+                spec.point_count()
+            ),
+        };
+        return frame.encode() + "\n";
+    }
+    let with_permille = spec.has_refetch_axis();
+    let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<Vec<String>, String> {
+            let mut rows = Vec::with_capacity((assign.end - assign.start) as usize);
+            for index in assign.start..assign.end {
+                let point = spec.point(index);
+                let profile = store
+                    .try_fetch(&point.benchmark, spec.scale)
+                    .map_err(|err| format!("profile {}: {err}", point.benchmark))?;
+                let savings = point.evaluate(&profile);
+                rows.push(crate::spec::render_job_row(&point, &savings, with_permille));
+            }
+            Ok(rows)
+        },
+    ))
+    .unwrap_or_else(|payload| Err(format!("panic: {}", panic_message(&payload))));
+    match evaluated {
+        Ok(rows) => {
+            let mut response = WorkerFrame::ChunkStart {
+                chunk: assign.chunk,
+                points: rows.len() as u64,
+            }
+            .encode();
+            response.push('\n');
+            for row in &rows {
+                response.push_str(row);
+                response.push('\n');
+            }
+            response.push_str(
+                &WorkerFrame::ChunkEnd {
+                    chunk: assign.chunk,
+                    fnv1a: rows_checksum(&rows),
+                }
+                .encode(),
+            );
+            response.push('\n');
+            response
+        }
+        Err(error) => {
+            WorkerFrame::ChunkErr {
+                chunk: assign.chunk,
+                error,
+            }
+            .encode()
+                + "\n"
+        }
+    }
+}
+
+/// The stdio worker main loop: reads the hello, answers `ready`, then
 /// evaluates assignments until stdin closes. Extracted from the binary
 /// so tests can drive a worker in-process over byte buffers.
 ///
@@ -261,81 +392,12 @@ pub fn run_worker(input: impl BufRead, mut output: impl Write) -> io::Result<()>
     writeln!(output, "{}", WorkerFrame::Ready(std::process::id()).encode())?;
     output.flush()?;
     let store = ProfileStore::global();
-    let with_permille = spec.has_refetch_axis();
     for line in lines {
         let assign = Assign::parse(&line?)?;
         // The kill site: an armed `jobs/chunk=panic#N` arm takes this
         // worker down at its N-th chunk boundary, deterministically.
         panic_point("jobs/chunk");
-        if assign.end < assign.start || assign.end > spec.point_count() {
-            writeln!(
-                output,
-                "{}",
-                WorkerFrame::ChunkErr {
-                    chunk: assign.chunk,
-                    error: format!(
-                        "assignment {}..{} outside job space of {} points",
-                        assign.start,
-                        assign.end,
-                        spec.point_count()
-                    ),
-                }
-                .encode()
-            )?;
-            output.flush()?;
-            continue;
-        }
-        let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-            || -> Result<Vec<String>, String> {
-                let mut rows = Vec::with_capacity((assign.end - assign.start) as usize);
-                for index in assign.start..assign.end {
-                    let point = spec.point(index);
-                    let profile = store
-                        .try_fetch(&point.benchmark, spec.scale)
-                        .map_err(|err| format!("profile {}: {err}", point.benchmark))?;
-                    let savings = point.evaluate(&profile);
-                    rows.push(crate::spec::render_job_row(&point, &savings, with_permille));
-                }
-                Ok(rows)
-            },
-        ))
-        .unwrap_or_else(|payload| Err(format!("panic: {}", panic_message(&payload))));
-        match evaluated {
-            Ok(rows) => {
-                writeln!(
-                    output,
-                    "{}",
-                    WorkerFrame::ChunkStart {
-                        chunk: assign.chunk,
-                        points: rows.len() as u64,
-                    }
-                    .encode()
-                )?;
-                for row in &rows {
-                    writeln!(output, "{row}")?;
-                }
-                writeln!(
-                    output,
-                    "{}",
-                    WorkerFrame::ChunkEnd {
-                        chunk: assign.chunk,
-                        fnv1a: rows_checksum(&rows),
-                    }
-                    .encode()
-                )?;
-            }
-            Err(error) => {
-                writeln!(
-                    output,
-                    "{}",
-                    WorkerFrame::ChunkErr {
-                        chunk: assign.chunk,
-                        error,
-                    }
-                    .encode()
-                )?;
-            }
-        }
+        output.write_all(chunk_response(&spec, store, &assign).as_bytes())?;
         output.flush()?;
     }
     Ok(())
@@ -370,9 +432,21 @@ mod tests {
                 chunk: 9,
                 error: "profile gzip: missing".into(),
             },
+            WorkerFrame::Heartbeat(17),
         ] {
             assert_eq!(WorkerFrame::parse(&frame.encode()).unwrap(), frame);
         }
+
+        for session in [
+            SessionHello { pid: 4242, token: None },
+            SessionHello {
+                pid: 7,
+                token: Some("secret".into()),
+            },
+        ] {
+            assert_eq!(SessionHello::parse(&session.encode()).unwrap(), session);
+        }
+        assert!(SessionHello::parse(r#"{"token":"secret"}"#).is_err());
     }
 
     #[test]

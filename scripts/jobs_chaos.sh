@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Network chaos replay for the sweep-job fabric.
+#
+# Runs a ≥100k-point job twice:
+#
+#   1. Reference: local stdio workers, no faults.
+#   2. Chaos: zero local workers; three remote TCP workers whose
+#      socket transports are armed with the full network fault matrix
+#      (probabilistic frame drops, duplicated frames, per-frame delay)
+#      and one deterministic 6-second mid-flight partition that
+#      silences heartbeats, forces a lease expiry, and delivers its
+#      chunk answer late.
+#
+# The chaos run must end with ≥1 expired lease and a sha256 page
+# digest byte-identical to the reference. Everything the run produced
+# stays in the workdir as evidence (CI uploads it on failure).
+#
+# Usage: scripts/jobs_chaos.sh [workdir]   (default: results/jobs-chaos)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKDIR="${1:-results/jobs-chaos}"
+SERVER=target/release/leakage-server
+WORKER=target/release/leakage-job-worker
+TOKEN=chaos-secret
+# 6 benchmarks × 2 sides × 4 nodes × 2084 permille steps = 100,032
+# points in 25 chunks of 4096.
+JOB_BODY='{"name": "chaos-100k", "scale": "test",
+           "refetch_permille": {"from": 1, "to": 2084, "step": 1},
+           "chunk_points": 4096}'
+
+# Per-worker fault matrix: 3% of data frames dropped, 8% duplicated,
+# 12% delayed 15ms. Worker 3 additionally partitions hard for 6s while
+# sending its 5th data frame. Seeds differ per worker so the fleet
+# does not fail in lockstep.
+FAULTS_W1='net/drop=drop%30@11;net/dup=dup%80@13;net/delay=latency:15%120@17'
+FAULTS_W2='net/drop=drop%30@23;net/dup=dup%80@29;net/delay=latency:15%120@31'
+FAULTS_W3='net/drop=drop%30@41;net/dup=dup%80@43;net/delay=latency:15%120@47;net/partition=latency:6000#5'
+
+if [ ! -x "$SERVER" ] || [ ! -x "$WORKER" ]; then
+  cargo build --release -p leakage-server -p leakage-jobs --bins
+fi
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+start_server() { # log-file, extra flags...
+  local log="$1"; shift
+  rm -f "$log"
+  "$SERVER" --addr 127.0.0.1:0 --scale test "$@" > "$log" 2>&1 &
+  local pid=$!
+  for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$log" && break
+    sleep 0.1
+  done
+  grep -q '^listening on ' "$log" || { cat "$log"; return 1; }
+  echo "$pid $(sed -n 's/^listening on //p' "$log" | head -n1)"
+}
+
+submit_job() { # addr -> job id
+  curl -fsS -X POST "http://$1/v1/jobs" -d "$JOB_BODY" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])'
+}
+
+job_field() { # addr, id, field
+  curl -fsS "http://$1/v1/jobs/$2" |
+    python3 -c "import json,sys; print(json.load(sys.stdin)[\"$3\"])"
+}
+
+wait_done() { # addr, id, seconds
+  for _ in $(seq 1 $(($3 * 2))); do
+    state=$(job_field "$1" "$2" state)
+    case "$state" in
+      done) return 0 ;;
+      queued|running) sleep 0.5 ;;
+      *) echo "job ended in state $state"; curl -fsS "http://$1/v1/jobs/$2"; return 1 ;;
+    esac
+  done
+  echo "job not done after $3 s"; curl -fsS "http://$1/v1/jobs/$2"; return 1
+}
+
+stop_server() { # pid
+  kill -TERM "$1" 2>/dev/null || true
+  for _ in $(seq 1 200); do
+    kill -0 "$1" 2>/dev/null || return 0
+    sleep 0.1
+  done
+  echo "server $1 did not exit after SIGTERM"; kill -KILL "$1"; return 1
+}
+
+page_digest() { # addr, id -> sha256 over every result page
+  local pages page
+  pages=$(curl -fsS "http://$1/v1/jobs/$2/result?per_page=10000" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["total_pages"])')
+  for page in $(seq 0 $((pages - 1))); do
+    curl -fsS "http://$1/v1/jobs/$2/result?page=$page&per_page=10000"
+    printf '\n'
+  done | sha256sum | cut -d' ' -f1
+}
+
+# --- Reference: uninterrupted, local workers -----------------------------
+read -r PID ADDR < <(start_server "$WORKDIR/reference.log" \
+  --jobs-dir "$WORKDIR/jobs-ref" --job-workers 4)
+echo "reference coordinator at $ADDR (pid $PID)"
+ID=$(submit_job "$ADDR")
+wait_done "$ADDR" "$ID" 600
+REF_DIGEST=$(page_digest "$ADDR" "$ID")
+stop_server "$PID"
+echo "reference digest: $REF_DIGEST"
+
+# --- Chaos: remote fleet under the network fault matrix ------------------
+# A dropped chunk response is only noticed by the stall deadline (the
+# worker keeps heartbeating), so keep it short; the heartbeat timeout
+# is what catches the partition.
+read -r PID ADDR < <(start_server "$WORKDIR/chaos.log" \
+  --jobs-dir "$WORKDIR/jobs-chaos" --job-workers 0 \
+  --job-listen 127.0.0.1:0 --job-token "$TOKEN" \
+  --job-hb-timeout-ms 1500 --job-stall-ms 6000)
+JOB_ADDR=$(sed -n 's/^job fabric listening on //p' "$WORKDIR/chaos.log" | head -n1)
+test -n "$JOB_ADDR" || { echo "no job fabric listener"; cat "$WORKDIR/chaos.log"; exit 1; }
+echo "chaos coordinator at $ADDR, job fabric at $JOB_ADDR (pid $PID)"
+
+WPIDS=()
+i=1
+for faults in "$FAULTS_W1" "$FAULTS_W2" "$FAULTS_W3"; do
+  LEAKAGE_FAULTS="$faults" "$WORKER" --connect "$JOB_ADDR" --token "$TOKEN" \
+    --hb-ms 250 > "$WORKDIR/worker-$i.log" 2>&1 &
+  WPIDS+=($!)
+  i=$((i + 1))
+done
+
+CID=$(submit_job "$ADDR")
+test "$CID" = "$ID" || { echo "content-addressed ids differ: $CID vs $ID"; exit 1; }
+wait_done "$ADDR" "$CID" 600
+
+expired=$(job_field "$ADDR" "$CID" leases_expired)
+late=$(job_field "$ADDR" "$CID" late_commits)
+test "$expired" -ge 1 || { echo "expected ≥1 expired lease, got $expired"; exit 1; }
+CHAOS_DIGEST=$(page_digest "$ADDR" "$CID")
+
+kill -KILL "${WPIDS[@]}" 2>/dev/null || true
+wait "${WPIDS[@]}" 2>/dev/null || true
+stop_server "$PID"
+
+test "$CHAOS_DIGEST" = "$REF_DIGEST" || {
+  echo "chaos run diverged from the reference:"
+  echo "  chaos:     $CHAOS_DIGEST"
+  echo "  reference: $REF_DIGEST"
+  exit 1
+}
+echo "jobs chaos OK: $expired leases expired, $late late commits discarded, digest $CHAOS_DIGEST"
