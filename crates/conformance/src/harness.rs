@@ -15,8 +15,9 @@ use leakage_core::{EnergyContext, GeneralizedModel, PowerMode, RefetchAccounting
 use leakage_energy::{CircuitParams, ModePowers, ModeTimings, TechnologyNode};
 use leakage_intervals::{
     CompactIntervalDist, IntervalClass, IntervalExtractor, IntervalKind, LineCentricExtractor,
-    WakeHints,
+    StreamingExtractor, WakeHints,
 };
+use leakage_isa::{IsaSource, PROGRAMS};
 use leakage_prefetch::{NextLinePrefetcher, StridePrefetcher};
 use leakage_trace::{AccessKind, Cycle, LineAddr, MemoryAccess, Pc};
 use leakage_workloads::{suite, Scale};
@@ -456,6 +457,107 @@ pub fn check_extractor_fuzz(traces: u32) -> CheckOutcome {
     CheckOutcome::pass(NAME, format!("{traces} fuzz traces (frame-keyed and line-centric)"))
 }
 
+/// The bounded-state streaming extractor against the line-keyed O(n²)
+/// oracle: fuzzed finite traces (explicit ends, same-cycle repeats,
+/// zero-length tails) plus the executed trace of every ISA program,
+/// demanding exact structural equality and resident state bounded by
+/// the number of live lines.
+pub fn check_streaming_intervals(traces: u32) -> CheckOutcome {
+    const NAME: &str = "streaming_intervals";
+    let mut rng = rng_for(NAME);
+    // Fuzzed traces over a 6-line universe, nondecreasing cycles.
+    for trace in 0..traces {
+        let len = rng.below(200) as usize;
+        let mut cycle = 0u64;
+        let mut events = Vec::with_capacity(len);
+        for _ in 0..len {
+            cycle += rng.below(4);
+            events.push(AccessEvent {
+                frame: 0,
+                line: LineAddr::new(rng.below(6)),
+                cycle,
+                hit: rng.below(2) == 1,
+                dirty: rng.below(2) == 1,
+            });
+        }
+        let end = cycle + rng.below(10);
+        let mut streaming = StreamingExtractor::new(6, CompactIntervalDist::new());
+        for e in &events {
+            streaming.on_access(e.line, Cycle::new(e.cycle));
+        }
+        let peak = streaming.peak_resident_lines();
+        if peak > 6 {
+            return CheckOutcome::fail(
+                NAME,
+                format!("fuzz trace {trace}: {peak} resident lines from a 6-line universe"),
+            );
+        }
+        let prod = streaming.finish_at(Cycle::new(end));
+        let reference = reference_line_intervals_quadratic(&events, end);
+        if prod != reference {
+            return CheckOutcome::fail(
+                NAME,
+                format!("fuzz trace {trace}: streaming dist diverges ({len} events, end {end})"),
+            );
+        }
+    }
+    // Executed ISA programs through the TraceSink adapter (64-byte
+    // lines), watermark finalization on both sides.
+    let mut program_detail = Vec::new();
+    for program in &PROGRAMS {
+        let mut accesses: Vec<MemoryAccess> = Vec::new();
+        leakage_trace::TraceSource::run(&mut IsaSource::new(program, 25_000, 7), &mut accesses);
+        let events: Vec<AccessEvent> = accesses
+            .iter()
+            .map(|a| AccessEvent {
+                frame: 0,
+                line: a.addr.line(6),
+                cycle: a.cycle.raw(),
+                hit: false,
+                dirty: false,
+            })
+            .collect();
+        let live_lines: std::collections::HashSet<LineAddr> =
+            events.iter().map(|e| e.line).collect();
+        let end = events.last().map_or(0, |e| e.cycle + 1);
+        let mut streaming = StreamingExtractor::new(6, CompactIntervalDist::new());
+        for access in &accesses {
+            leakage_trace::TraceSink::accept(&mut streaming, *access);
+        }
+        let peak = streaming.peak_resident_lines();
+        if peak > live_lines.len() {
+            return CheckOutcome::fail(
+                NAME,
+                format!(
+                    "{}: {peak} resident lines exceed the {} lines the program touches",
+                    program.name,
+                    live_lines.len()
+                ),
+            );
+        }
+        let prod = streaming.finish();
+        let reference = reference_line_intervals_quadratic(&events, end);
+        if prod != reference {
+            return CheckOutcome::fail(
+                NAME,
+                format!(
+                    "{}: streaming dist ({} classes, {} cycles) != oracle ({} classes, {} cycles)",
+                    program.name,
+                    prod.num_classes(),
+                    prod.total_cycles(),
+                    reference.num_classes(),
+                    reference.total_cycles()
+                ),
+            );
+        }
+        program_detail.push(format!("{}: {} events, {} lines", program.name, events.len(), live_lines.len()));
+    }
+    CheckOutcome::pass(
+        NAME,
+        format!("{traces} fuzz traces; {}", program_detail.join("; ")),
+    )
+}
+
 /// The generalized model against the literal Fig. 6 interpreter: state
 /// powers, the four edge energies (and the two missing edges), and
 /// interval energies across modes, kinds, dirtiness and both refetch
@@ -617,6 +719,7 @@ pub fn run_conformance(scale: Scale, theorem_instances: u32) -> ConformanceRepor
     report.checks.push(check_fig6());
     report.checks.push(check_cache_fuzz(200));
     report.checks.push(check_extractor_fuzz(200));
+    report.checks.push(check_streaming_intervals(200));
     report.checks.push(check_prefetch_fuzz(200));
     let (cache, extract) = check_workloads(scale);
     report.checks.push(cache);

@@ -9,8 +9,8 @@
 //! [`leakage_conformance::run_conformance`].
 
 use leakage_conformance::harness::{
-    check_cache_fuzz, check_extractor_fuzz, check_fig6, check_prefetch_fuzz, check_theorem_dp,
-    check_workloads,
+    check_cache_fuzz, check_extractor_fuzz, check_fig6, check_prefetch_fuzz,
+    check_streaming_intervals, check_theorem_dp, check_workloads,
 };
 use leakage_conformance::run_conformance;
 use leakage_workloads::Scale;
@@ -40,6 +40,12 @@ fn streaming_extractors_match_quadratic_references_on_fuzz_traces() {
 }
 
 #[test]
+fn streaming_line_extractor_matches_oracle_on_fuzz_and_isa_programs() {
+    let outcome = check_streaming_intervals(500);
+    assert!(outcome.passed, "{}: {}", outcome.name, outcome.detail);
+}
+
+#[test]
 fn prefetchers_match_references_on_fuzz_streams() {
     let outcome = check_prefetch_fuzz(500);
     assert!(outcome.passed, "{}: {}", outcome.name, outcome.detail);
@@ -58,6 +64,6 @@ fn full_suite_reports_every_check() {
     // repro CLI consumes (instance counts reduced; the heavyweight
     // gates above run the real acceptance sizes).
     let report = run_conformance(Scale::Custom(20_000), 500);
-    assert_eq!(report.checks.len(), 7);
+    assert_eq!(report.checks.len(), 8);
     assert!(report.all_passed(), "failures: {:?}", report.failures());
 }

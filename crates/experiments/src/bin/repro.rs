@@ -9,7 +9,9 @@
 //! fig10`), the sensitivity ablations (`ablation-dead ablation-power
 //! ablation-transition ablation-l2 ablation-geometry
 //! ablation-writeback calibration`), and the extensions
-//! (`prefetch-frontier implementable online dri diagnostics`).
+//! (`prefetch-frontier implementable online dri diagnostics` and
+//! `isa-suite`, which runs the executed mini-ISA programs through the
+//! same pipeline).
 //! `--csv` prints CSV, `--out DIR` writes per-table CSV files,
 //! `--svg DIR` renders the figures, and `--report FILE` writes one
 //! combined Markdown report.
@@ -77,6 +79,7 @@ const ALL: &[&str] = &[
     "ablation-line-centric",
     "diagnostics",
     "calibration",
+    "isa-suite",
 ];
 
 const NEEDS_PROFILES: &[&str] = &[
@@ -285,6 +288,7 @@ fn main() {
                 emit(&leakage_experiments::diagnostics::footprints(scale));
             }
             "calibration" => emit(&ablations::calibration_consistency()),
+            "isa-suite" => emit(&leakage_experiments::isa_suite::generate(scale)),
             _ => unreachable!("validated above"),
         };
         // Isolate each experiment: one panicking generator (or an
@@ -377,6 +381,19 @@ fn main() {
     }
     manifest.set("threads", rayon::current_num_threads());
     manifest.set("generator_version", leakage_workloads::GENERATOR_VERSION);
+    manifest.set("isa_generator_version", leakage_workloads::ISA_GENERATOR_VERSION);
+    // Executed-workload odometers: zero unless an `isa:*` program was
+    // actually simulated this run, in which case they pin down exactly
+    // how much architectural work backed the emitted artifacts.
+    let registry = telemetry::registry();
+    manifest.set(
+        "isa_instructions_retired",
+        registry.counter("isa_instructions_retired_total").get(),
+    );
+    manifest.set(
+        "isa_sim_cycles",
+        registry.counter("isa_sim_cycles_total").get(),
+    );
     manifest.set("format_version", leakage_experiments::codec::FORMAT_VERSION);
     manifest.set(
         "config_hash",

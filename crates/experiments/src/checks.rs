@@ -107,6 +107,31 @@ pub fn check_static_artifact(experiment: &str, table: &Table) -> Result<(), Stri
             }
             Ok(())
         }
+        "isa-suite" => {
+            // Profile numbers vary with --scale, but the shape does
+            // not: every library program must appear on both cache
+            // sides, and an executed program cannot retire zero
+            // accesses on either of them.
+            let expected = 2 * leakage_workloads::ISA_SUITE_NAMES.len();
+            if table.rows().len() != expected {
+                return Err(format!(
+                    "isa-suite: expected {expected} rows (program × side), got {}",
+                    table.rows().len()
+                ));
+            }
+            for row in table.rows() {
+                if !leakage_workloads::ISA_SUITE_NAMES.contains(&row[0].as_str()) {
+                    return Err(format!("isa-suite: unknown program {:?}", row[0]));
+                }
+                if row[2].parse::<u64>().ok().is_none_or(|accesses| accesses == 0) {
+                    return Err(format!(
+                        "isa-suite: {}/{} retired no cache accesses",
+                        row[0], row[1]
+                    ));
+                }
+            }
+            Ok(())
+        }
         _ => Ok(()),
     }
 }

@@ -24,6 +24,7 @@
 //! | [`fig9`]   | Fig. 9 — prefetchability of intervals by length band |
 //! | [`fig10`]  | Fig. 10 — per-mode interval energies and their envelope |
 //! | [`ablations`] | beyond-the-paper sensitivity studies |
+//! | [`isa_suite`] | executed `isa:*` programs through the same pipeline |
 //! | [`implementable`] | extension: implementable schemes, energy *and* stalls |
 //! | [`online`] | extension: timeline-simulated controllers (decay, adaptive, …) |
 //! | [`diagnostics`] | interval distributions, oracle mode census, footprints |
@@ -49,6 +50,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod implementable;
+pub mod isa_suite;
 pub mod online;
 mod pipeline;
 pub mod query;

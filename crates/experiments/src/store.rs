@@ -11,11 +11,14 @@
 //!
 //! A store key is a stable FNV-1a hash over the benchmark name, the
 //! scale's cycle budget, every geometric parameter of the hierarchy
-//! (sizes, ways, line bytes, latencies), the workload generator
-//! version ([`leakage_workloads::GENERATOR_VERSION`]) and the codec
-//! format version. Changing the workload generator therefore requires
-//! bumping `GENERATOR_VERSION` — that one bump invalidates every
-//! memoized profile, in memory and on disk.
+//! (sizes, ways, line bytes, latencies), the workload family's
+//! generator version ([`leakage_workloads::generator_version`]:
+//! `GENERATOR_VERSION` for the synthetic suite,
+//! `ISA_GENERATOR_VERSION` for executed `isa:*` programs) and the
+//! codec format version. Changing a workload generator therefore
+//! requires bumping its family's version — that one bump invalidates
+//! every memoized profile of that family, in memory and on disk,
+//! without touching the other family's entries.
 //!
 //! # Failure model
 //!
@@ -63,7 +66,7 @@ use leakage_cachesim::{CacheConfig, HierarchyConfig};
 use leakage_faults::checksum::Fnv64;
 use leakage_faults::{panic_message, Backoff, StoreError};
 use leakage_telemetry::{counter, warn, Counter};
-use leakage_workloads::{by_name, Scale, GENERATOR_VERSION};
+use leakage_workloads::{by_name, generator_version, Scale};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -205,7 +208,7 @@ impl ProfileStore {
             hash_cache_geometry(&mut hash, cache);
         }
         hash.write_u64(u64::from(config.memory_latency));
-        hash.write_u64(u64::from(GENERATOR_VERSION));
+        hash.write_u64(u64::from(generator_version(name)));
         hash.write_u64(u64::from(codec::FORMAT_VERSION));
         hash.finish()
     }

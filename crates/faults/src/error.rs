@@ -135,6 +135,11 @@ pub enum TraceError {
     TornRecord,
     /// A record carried an out-of-range access-kind byte.
     InvalidKind(u8),
+    /// The trace holds no events, in a context that needs at least one
+    /// (e.g. computing the trace's end cycle for interval extraction).
+    /// Returned instead of panicking by the fallible accessors on
+    /// `TraceStats` and the sources that require a non-empty stream.
+    Empty,
 }
 
 impl fmt::Display for TraceError {
@@ -147,6 +152,7 @@ impl fmt::Display for TraceError {
             }
             TraceError::TornRecord => write!(f, "torn trace record at end of stream"),
             TraceError::InvalidKind(byte) => write!(f, "invalid access kind byte {byte}"),
+            TraceError::Empty => write!(f, "empty trace"),
         }
     }
 }
@@ -198,6 +204,9 @@ mod tests {
 
         let err = TraceError::UnsupportedVersion { found: 99 };
         assert!(err.to_string().contains("version 99"));
+
+        assert_eq!(TraceError::Empty.to_string(), "empty trace");
+        assert!(std::error::Error::source(&TraceError::Empty).is_none());
     }
 
     #[test]

@@ -51,12 +51,14 @@ mod extractor;
 mod histogram;
 mod interval;
 mod line_centric;
+mod streaming;
 
 pub use dist::{CompactIntervalDist, IntervalClass};
 pub use extractor::IntervalExtractor;
 pub use histogram::IntervalHistogram;
 pub use interval::{Interval, IntervalKind, WakeHints};
 pub use line_centric::LineCentricExtractor;
+pub use streaming::StreamingExtractor;
 
 /// A consumer of extracted intervals.
 ///

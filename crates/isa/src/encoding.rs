@@ -1,0 +1,521 @@
+//! The fixed 32-bit instruction encoding.
+//!
+//! Every instruction occupies one little-endian `u32` with the layout
+//!
+//! ```text
+//!  31      26 25  22 21  18 17  14 13           0
+//! +----------+------+------+------+--------------+
+//! |  opcode  |  rd  | rs1  | rs2  |    imm14     |
+//! +----------+------+------+------+--------------+
+//! ```
+//!
+//! `imm14` is a two's-complement 14-bit immediate. Fields a format does
+//! not use **must be zero**: [`Instr::decode`] rejects words with junk
+//! in unused fields, which makes the encoding canonical — for every
+//! valid word `w`, `encode(decode(w)) == w`, and for every instruction
+//! `i`, `decode(encode(i)) == i`.
+
+use std::fmt;
+
+/// Number of architectural registers. `r0` is hardwired to zero.
+pub const NUM_REGS: usize = 16;
+
+/// An architectural register, `r0` through `r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register: reads as 0, writes are discarded.
+    pub const R0: Reg = Reg(0);
+
+    /// Creates a register from its index, if in range.
+    pub fn new(index: u8) -> Option<Reg> {
+        ((index as usize) < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..16`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A 14-bit signed immediate, `-8192..=8191`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Imm14(i16);
+
+impl Imm14 {
+    /// Smallest representable immediate.
+    pub const MIN: i64 = -(1 << 13);
+    /// Largest representable immediate.
+    pub const MAX: i64 = (1 << 13) - 1;
+    /// The zero immediate.
+    pub const ZERO: Imm14 = Imm14(0);
+
+    /// Creates an immediate if the value fits in 14 signed bits.
+    pub fn new(value: i64) -> Option<Imm14> {
+        (Imm14::MIN..=Imm14::MAX)
+            .contains(&value)
+            .then_some(Imm14(value as i16))
+    }
+
+    /// The immediate's value.
+    pub fn get(self) -> i64 {
+        self.0 as i64
+    }
+}
+
+impl fmt::Display for Imm14 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Arithmetic/logic operations, shared by the register and immediate
+/// instruction forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Signed less-than, producing 0 or 1.
+    Slt,
+    /// Logical shift left by the low 6 bits of the operand.
+    Sll,
+    /// Logical shift right by the low 6 bits of the operand.
+    Srl,
+    /// Wrapping multiplication (2-cycle latency).
+    Mul,
+}
+
+impl AluOp {
+    const ALL: [AluOp; 9] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Slt,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Mul,
+    ];
+
+    fn code(self) -> u32 {
+        AluOp::ALL.iter().position(|&op| op == self).unwrap() as u32
+    }
+}
+
+/// Branch comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken when `rs1 == rs2`.
+    Eq,
+    /// Taken when `rs1 != rs2`.
+    Ne,
+    /// Taken when `rs1 < rs2`, signed.
+    Lt,
+    /// Taken when `rs1 >= rs2`, signed.
+    Ge,
+}
+
+impl BranchCond {
+    const ALL: [BranchCond; 4] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+    ];
+
+    fn code(self) -> u32 {
+        BranchCond::ALL.iter().position(|&c| c == self).unwrap() as u32
+    }
+}
+
+/// One decoded instruction.
+///
+/// Branch, [`Instr::Jal`] and [`Instr::Sw`]/[`Instr::Lw`] immediates
+/// are in *instruction* and *word* units respectively — the ISA is
+/// word-addressed; byte addresses appear only in the emitted trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd = op(rs1, rs2)`.
+    Alu {
+        /// Operation applied.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rd = op(rs1, sext(imm))`.
+    AluImm {
+        /// Operation applied.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Immediate operand, sign-extended.
+        imm: Imm14,
+    },
+    /// `rd = sext(imm) << 14` — builds constants beyond 14 bits.
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate shifted into the upper bits.
+        imm: Imm14,
+    },
+    /// `rd = mem[(rs1 + sext(imm)) mod words]`.
+    Lw {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register (word units).
+        rs1: Reg,
+        /// Word offset.
+        imm: Imm14,
+    },
+    /// `mem[(rs1 + sext(imm)) mod words] = rs2`.
+    Sw {
+        /// Register stored.
+        rs2: Reg,
+        /// Base address register (word units).
+        rs1: Reg,
+        /// Word offset.
+        imm: Imm14,
+    },
+    /// `if cond(rs1, rs2) { pc += sext(imm) }` — pc-relative, in
+    /// instruction units, relative to the branch itself.
+    Branch {
+        /// Comparison predicate.
+        cond: BranchCond,
+        /// First compared register.
+        rs1: Reg,
+        /// Second compared register.
+        rs2: Reg,
+        /// Relative target, in instructions.
+        imm: Imm14,
+    },
+    /// `rd = pc + 1; pc += sext(imm)`; link is an instruction index.
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Relative target, in instructions.
+        imm: Imm14,
+    },
+    /// `rd = pc + 1; pc = rs1 + sext(imm)`; absolute instruction index.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Base register holding an instruction index.
+        rs1: Reg,
+        /// Offset, in instructions.
+        imm: Imm14,
+    },
+    /// Stops execution.
+    Halt,
+}
+
+/// Opcode assignments: ALU register forms are `0..=8`, ALU immediate
+/// forms `9..=17` (same operation order), then the remaining formats.
+const OP_ALU: u32 = 0;
+const OP_ALU_IMM: u32 = 9;
+const OP_LUI: u32 = 18;
+const OP_LW: u32 = 19;
+const OP_SW: u32 = 20;
+const OP_BRANCH: u32 = 21;
+const OP_JAL: u32 = 25;
+const OP_JALR: u32 = 26;
+const OP_HALT: u32 = 27;
+
+const fn field(value: u32, shift: u32) -> u32 {
+    value << shift
+}
+
+fn imm_bits(imm: Imm14) -> u32 {
+    (imm.0 as u32) & 0x3FFF
+}
+
+/// A word [`Instr::decode`] rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field is not assigned.
+    InvalidOpcode(u8),
+    /// A field the format does not use carries non-zero bits, so the
+    /// word is not the canonical encoding of any instruction.
+    NonCanonical(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::InvalidOpcode(op) => write!(f, "invalid opcode {op}"),
+            DecodeError::NonCanonical(word) => {
+                write!(f, "non-canonical encoding {word:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instr {
+    /// Encodes the instruction into its canonical 32-bit word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                field(OP_ALU + op.code(), 26)
+                    | field(rd.0 as u32, 22)
+                    | field(rs1.0 as u32, 18)
+                    | field(rs2.0 as u32, 14)
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                field(OP_ALU_IMM + op.code(), 26)
+                    | field(rd.0 as u32, 22)
+                    | field(rs1.0 as u32, 18)
+                    | imm_bits(imm)
+            }
+            Instr::Lui { rd, imm } => {
+                field(OP_LUI, 26) | field(rd.0 as u32, 22) | imm_bits(imm)
+            }
+            Instr::Lw { rd, rs1, imm } => {
+                field(OP_LW, 26)
+                    | field(rd.0 as u32, 22)
+                    | field(rs1.0 as u32, 18)
+                    | imm_bits(imm)
+            }
+            Instr::Sw { rs2, rs1, imm } => {
+                field(OP_SW, 26)
+                    | field(rs1.0 as u32, 18)
+                    | field(rs2.0 as u32, 14)
+                    | imm_bits(imm)
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => {
+                field(OP_BRANCH + cond.code(), 26)
+                    | field(rs1.0 as u32, 18)
+                    | field(rs2.0 as u32, 14)
+                    | imm_bits(imm)
+            }
+            Instr::Jal { rd, imm } => {
+                field(OP_JAL, 26) | field(rd.0 as u32, 22) | imm_bits(imm)
+            }
+            Instr::Jalr { rd, rs1, imm } => {
+                field(OP_JALR, 26)
+                    | field(rd.0 as u32, 22)
+                    | field(rs1.0 as u32, 18)
+                    | imm_bits(imm)
+            }
+            Instr::Halt => field(OP_HALT, 26),
+        }
+    }
+
+    /// Decodes a 32-bit word, rejecting unassigned opcodes and
+    /// non-canonical encodings (junk bits in unused fields).
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let opcode = word >> 26;
+        let rd = Reg(((word >> 22) & 0xF) as u8);
+        let rs1 = Reg(((word >> 18) & 0xF) as u8);
+        let rs2 = Reg(((word >> 14) & 0xF) as u8);
+        // Sign-extend the low 14 bits.
+        let imm = Imm14((((word & 0x3FFF) as i16) << 2) >> 2);
+
+        let require_zero = |bits: u32| {
+            if bits == 0 {
+                Ok(())
+            } else {
+                Err(DecodeError::NonCanonical(word))
+            }
+        };
+
+        let instr = match opcode {
+            op if (OP_ALU..OP_ALU + 9).contains(&op) => {
+                require_zero(word & 0x3FFF)?;
+                Instr::Alu {
+                    op: AluOp::ALL[(op - OP_ALU) as usize],
+                    rd,
+                    rs1,
+                    rs2,
+                }
+            }
+            op if (OP_ALU_IMM..OP_ALU_IMM + 9).contains(&op) => {
+                require_zero(rs2.0 as u32)?;
+                Instr::AluImm {
+                    op: AluOp::ALL[(op - OP_ALU_IMM) as usize],
+                    rd,
+                    rs1,
+                    imm,
+                }
+            }
+            OP_LUI => {
+                require_zero((rs1.0 as u32) | (rs2.0 as u32))?;
+                Instr::Lui { rd, imm }
+            }
+            OP_LW => {
+                require_zero(rs2.0 as u32)?;
+                Instr::Lw { rd, rs1, imm }
+            }
+            OP_SW => {
+                require_zero(rd.0 as u32)?;
+                Instr::Sw { rs2, rs1, imm }
+            }
+            op if (OP_BRANCH..OP_BRANCH + 4).contains(&op) => {
+                require_zero(rd.0 as u32)?;
+                Instr::Branch {
+                    cond: BranchCond::ALL[(op - OP_BRANCH) as usize],
+                    rs1,
+                    rs2,
+                    imm,
+                }
+            }
+            OP_JAL => {
+                require_zero((rs1.0 as u32) | (rs2.0 as u32))?;
+                Instr::Jal { rd, imm }
+            }
+            OP_JALR => {
+                require_zero(rs2.0 as u32)?;
+                Instr::Jalr { rd, rs1, imm }
+            }
+            OP_HALT => {
+                require_zero(word & 0x03FF_FFFF)?;
+                Instr::Halt
+            }
+            op => return Err(DecodeError::InvalidOpcode(op as u8)),
+        };
+        Ok(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n).unwrap()
+    }
+
+    fn imm(v: i64) -> Imm14 {
+        Imm14::new(v).unwrap()
+    }
+
+    #[test]
+    fn round_trips_one_of_each_format() {
+        let samples = [
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: r(3),
+                rs1: r(4),
+                rs2: r(5),
+            },
+            Instr::AluImm {
+                op: AluOp::Slt,
+                rd: r(1),
+                rs1: r(2),
+                imm: imm(-8192),
+            },
+            Instr::Lui {
+                rd: r(15),
+                imm: imm(8191),
+            },
+            Instr::Lw {
+                rd: r(7),
+                rs1: r(8),
+                imm: imm(-1),
+            },
+            Instr::Sw {
+                rs2: r(9),
+                rs1: r(10),
+                imm: imm(64),
+            },
+            Instr::Branch {
+                cond: BranchCond::Ge,
+                rs1: r(11),
+                rs2: r(12),
+                imm: imm(-5),
+            },
+            Instr::Jal {
+                rd: r(0),
+                imm: imm(3),
+            },
+            Instr::Jalr {
+                rd: r(1),
+                rs1: r(2),
+                imm: imm(0),
+            },
+            Instr::Halt,
+        ];
+        for instr in samples {
+            let word = instr.encode();
+            assert_eq!(Instr::decode(word), Ok(instr), "{instr:?}");
+            assert_eq!(Instr::decode(word).unwrap().encode(), word);
+        }
+    }
+
+    #[test]
+    fn rejects_unassigned_opcodes() {
+        for opcode in 28..64u32 {
+            let err = Instr::decode(opcode << 26).unwrap_err();
+            assert_eq!(err, DecodeError::InvalidOpcode(opcode as u8));
+        }
+    }
+
+    #[test]
+    fn rejects_junk_in_unused_fields() {
+        // HALT with a non-zero rd field.
+        let word = (OP_HALT << 26) | (1 << 22);
+        assert_eq!(Instr::decode(word), Err(DecodeError::NonCanonical(word)));
+        // Register-form ALU with a non-zero immediate.
+        let word = Instr::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        }
+        .encode()
+            | 0x7;
+        assert_eq!(Instr::decode(word), Err(DecodeError::NonCanonical(word)));
+    }
+
+    #[test]
+    fn immediate_range_is_enforced() {
+        assert!(Imm14::new(8191).is_some());
+        assert!(Imm14::new(8192).is_none());
+        assert!(Imm14::new(-8192).is_some());
+        assert!(Imm14::new(-8193).is_none());
+        assert_eq!(Imm14::new(-1).unwrap().get(), -1);
+    }
+
+    #[test]
+    fn registers_display_and_bound() {
+        assert!(Reg::new(15).is_some());
+        assert!(Reg::new(16).is_none());
+        assert_eq!(Reg::new(7).unwrap().to_string(), "r7");
+        assert_eq!(Reg::R0.index(), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(DecodeError::InvalidOpcode(63).to_string().contains("63"));
+        assert!(DecodeError::NonCanonical(0xDEAD_BEEF)
+            .to_string()
+            .contains("0xdeadbeef"));
+    }
+}

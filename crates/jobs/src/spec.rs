@@ -24,7 +24,7 @@ use leakage_experiments::query::{self, SweepPoint};
 use leakage_experiments::BenchmarkProfile;
 use leakage_faults::checksum::Fnv64;
 use leakage_telemetry::json::{self, Json};
-use leakage_workloads::{Scale, SUITE_NAMES};
+use leakage_workloads::{is_known_benchmark, Scale, SUITE_NAMES};
 
 /// Hard cap on a single axis value for the refetch scale, in permille
 /// (×1000 ⇒ scaling `C_D` up to 1000×).
@@ -164,7 +164,9 @@ impl JobSpec {
             )));
         }
         for benchmark in &benchmarks {
-            if !SUITE_NAMES.contains(&benchmark.as_str()) {
+            // Synthetic suite members and executed isa:* programs are
+            // both legal sweep-axis values.
+            if !is_known_benchmark(benchmark) {
                 return Err(bad(format!("unknown benchmark {benchmark:?}")));
             }
         }
@@ -603,6 +605,16 @@ mod tests {
         let empty = JobSpec::parse(r#"{"name":"empty","benchmarks":[]}"#).unwrap();
         assert_eq!(empty.point_count(), 0);
         assert_eq!(empty.chunk_count(), 0);
+    }
+
+    #[test]
+    fn isa_benchmarks_are_valid_axis_values() {
+        let spec = JobSpec::parse(
+            r#"{"name":"isa-mix","benchmarks":["gzip","isa:matmul","isa:chase"]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.benchmarks.len(), 3);
+        assert!(spec.point_count() > 0);
     }
 
     #[test]

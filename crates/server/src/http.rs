@@ -4,12 +4,16 @@
 //! blocking client with keep-alive support (used by the load
 //! generator and the integration tests).
 //!
-//! Scope is deliberately narrow: `Content-Length` bodies only (no
-//! chunked encoding), ASCII request targets with percent-escapes.
-//! Persistent connections are the default (HTTP/1.1 keep-alive);
-//! `Connection: close` and HTTP/1.0 are honored. That subset is
-//! everything the analysis service needs, and keeping it small is
-//! what lets the crate stay dependency-free.
+//! Scope is deliberately narrow: `Content-Length` bodies, plus
+//! `Transfer-Encoding: chunked` on routes that opt into streaming
+//! consumption (a chunked request parses [`Parse::Complete`] at the
+//! end of its header block with [`Request::chunked`] set and an empty
+//! `body`; the connection layer then drives a [`ChunkedDecoder`] over
+//! the wire bytes instead of buffering the body). ASCII request
+//! targets with percent-escapes. Persistent connections are the
+//! default (HTTP/1.1 keep-alive); `Connection: close` and HTTP/1.0
+//! are honored. That subset is everything the analysis service needs,
+//! and keeping it small is what lets the crate stay dependency-free.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -35,8 +39,15 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded `key=value` pairs, in query-string order.
     pub query: Vec<(String, String)>,
-    /// Request body (empty unless `Content-Length` said otherwise).
+    /// Request body (empty unless `Content-Length` said otherwise;
+    /// always empty when [`Self::chunked`] — the body is still on the
+    /// wire).
     pub body: Vec<u8>,
+    /// The request declared `Transfer-Encoding: chunked`: its body
+    /// was **not** buffered into `body` and must be consumed from the
+    /// connection through a [`ChunkedDecoder`] before the next
+    /// request can be framed.
+    pub chunked: bool,
     /// Whether the client asked for the connection to close after
     /// this exchange (`Connection: close`, or HTTP/1.0 without
     /// `Connection: keep-alive`).
@@ -54,6 +65,7 @@ impl Request {
             path: path.to_string(),
             query: Vec::new(),
             body: Vec::new(),
+            chunked: false,
             close: false,
             trace: ReqTrace::default(),
         }
@@ -210,6 +222,7 @@ pub fn parse_request(buf: &[u8]) -> Parse {
 
     let mut content_length = 0usize;
     let mut close = http10;
+    let mut chunked = false;
     let mut trace_id = 0u64;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
@@ -217,7 +230,18 @@ pub fn parse_request(buf: &[u8]) -> Parse {
         };
         let name = name.trim();
         let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            if value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else {
+                // An encoding we cannot deframe: the body's extent is
+                // unknowable, so the connection must close.
+                return Parse::Bad {
+                    bad: BadRequest::new(400, "unsupported Transfer-Encoding"),
+                    used: None,
+                };
+            }
+        } else if name.eq_ignore_ascii_case("content-length") {
             match value.parse::<usize>() {
                 Ok(n) => content_length = n,
                 // Framing depends on the unparseable length: close.
@@ -245,7 +269,11 @@ pub fn parse_request(buf: &[u8]) -> Parse {
             used: None,
         };
     }
-    let total = head_end + content_length;
+    // A chunked request completes at the header block: the body is
+    // wire-framed by the chunk grammar (RFC 9112 overrides any
+    // Content-Length) and is consumed by the connection layer through
+    // a `ChunkedDecoder`, never buffered here.
+    let total = if chunked { head_end } else { head_end + content_length };
     if buf.len() < total {
         return Parse::Partial;
     }
@@ -279,6 +307,7 @@ pub fn parse_request(buf: &[u8]) -> Parse {
             path,
             query,
             body: buf[head_end..total].to_vec(),
+            chunked,
             close,
             trace: ReqTrace {
                 id: trace_id,
@@ -348,6 +377,194 @@ pub fn percent_decode(s: &str) -> Option<String> {
         }
     }
     String::from_utf8(out).ok()
+}
+
+/// Progress of a [`ChunkedDecoder`] feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkState {
+    /// Reading the hex size line of the next chunk.
+    Size,
+    /// Inside a chunk's data, this many bytes still to come.
+    Data(u64),
+    /// Expecting the `\r\n` (or bare `\n`) terminating a chunk's data.
+    DataEnd,
+    /// Saw the `\r` of the data terminator; `\n` must follow.
+    DataLf,
+    /// After the zero-size chunk: trailer lines until a blank line.
+    Trailer,
+    /// The terminating blank line arrived; the body is complete.
+    Done,
+}
+
+/// Longest accepted chunk-size or trailer line (a size line is ~16
+/// hex digits plus extensions; anything longer is an attack or a bug).
+const MAX_CHUNK_LINE: usize = 1024;
+
+/// An incremental `Transfer-Encoding: chunked` body decoder.
+///
+/// Feed it raw wire bytes as they arrive; it appends the deframed
+/// data bytes to the caller's output buffer and reports how many
+/// input bytes it consumed, stopping at the end of the body so
+/// pipelined successors stay in the caller's buffer. State is a few
+/// words plus one partial line — memory never scales with body size,
+/// which is what lets the trace route ingest arbitrarily long
+/// uploads.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_server::http::ChunkedDecoder;
+///
+/// let mut decoder = ChunkedDecoder::new();
+/// let mut data = Vec::new();
+/// let used = decoder.feed(b"5\r\nhello\r\n0\r\n\r\nGET /", &mut data).unwrap();
+/// assert!(decoder.is_done());
+/// assert_eq!(data, b"hello");
+/// assert_eq!(used, 15); // "GET /" belongs to the next request
+/// ```
+#[derive(Debug)]
+pub struct ChunkedDecoder {
+    state: ChunkState,
+    /// Partial size/trailer line straddling feeds.
+    line: Vec<u8>,
+    decoded: u64,
+}
+
+impl Default for ChunkedDecoder {
+    fn default() -> Self {
+        ChunkedDecoder::new()
+    }
+}
+
+impl ChunkedDecoder {
+    /// A decoder positioned before the first chunk-size line.
+    pub fn new() -> Self {
+        ChunkedDecoder {
+            state: ChunkState::Size,
+            line: Vec::new(),
+            decoded: 0,
+        }
+    }
+
+    /// Whether the terminating zero-size chunk (and its trailer) has
+    /// been consumed.
+    pub fn is_done(&self) -> bool {
+        self.state == ChunkState::Done
+    }
+
+    /// Total data bytes deframed so far (the caller's streaming cap).
+    pub fn decoded_bytes(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Consumes wire bytes from the front of `buf`, appending
+    /// deframed data to `out`. Returns how many bytes of `buf` were
+    /// consumed — all of them unless the body completed mid-buffer.
+    ///
+    /// # Errors
+    ///
+    /// Malformed chunk framing (bad hex size, missing terminator,
+    /// oversized size/trailer line). Framing is lost: the connection
+    /// must close after answering.
+    pub fn feed(&mut self, buf: &[u8], out: &mut Vec<u8>) -> Result<usize, BadRequest> {
+        let mut i = 0;
+        while i < buf.len() {
+            match self.state {
+                ChunkState::Done => break,
+                ChunkState::Size => match self.take_line(buf, &mut i)? {
+                    None => {}
+                    Some(line) => {
+                        let size = parse_chunk_size(&line)?;
+                        self.state = if size == 0 {
+                            ChunkState::Trailer
+                        } else {
+                            ChunkState::Data(size)
+                        };
+                    }
+                },
+                ChunkState::Data(remaining) => {
+                    let available = buf.len() - i;
+                    let take = usize::try_from(remaining.min(available as u64))
+                        .expect("bounded by available");
+                    out.extend_from_slice(&buf[i..i + take]);
+                    self.decoded += take as u64;
+                    i += take;
+                    self.state = match remaining - take as u64 {
+                        0 => ChunkState::DataEnd,
+                        left => ChunkState::Data(left),
+                    };
+                }
+                ChunkState::DataEnd => {
+                    match buf[i] {
+                        b'\r' => self.state = ChunkState::DataLf,
+                        b'\n' => self.state = ChunkState::Size,
+                        _ => {
+                            return Err(BadRequest::new(
+                                400,
+                                "chunk data not terminated by CRLF",
+                            ))
+                        }
+                    }
+                    i += 1;
+                }
+                ChunkState::DataLf => {
+                    if buf[i] != b'\n' {
+                        return Err(BadRequest::new(400, "chunk data not terminated by CRLF"));
+                    }
+                    i += 1;
+                    self.state = ChunkState::Size;
+                }
+                ChunkState::Trailer => match self.take_line(buf, &mut i)? {
+                    None => {}
+                    Some(line) => {
+                        if line.is_empty() {
+                            self.state = ChunkState::Done;
+                        }
+                        // Non-empty trailer fields are consumed and
+                        // ignored (this server solicits none).
+                    }
+                },
+            }
+        }
+        Ok(i)
+    }
+
+    /// Accumulates bytes up to the next `\n`; `Some(line)` (CR
+    /// stripped) once complete, `None` when the buffer ran out first.
+    fn take_line(&mut self, buf: &[u8], i: &mut usize) -> Result<Option<Vec<u8>>, BadRequest> {
+        match buf[*i..].iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                self.line.extend_from_slice(&buf[*i..*i + nl]);
+                *i += nl + 1;
+                if self.line.last() == Some(&b'\r') {
+                    self.line.pop();
+                }
+                if self.line.len() > MAX_CHUNK_LINE {
+                    return Err(BadRequest::new(400, "chunk framing line too long"));
+                }
+                Ok(Some(std::mem::take(&mut self.line)))
+            }
+            None => {
+                self.line.extend_from_slice(&buf[*i..]);
+                *i = buf.len();
+                if self.line.len() > MAX_CHUNK_LINE {
+                    return Err(BadRequest::new(400, "chunk framing line too long"));
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Parses a chunk-size line: hex digits, optional `;extension` tail.
+fn parse_chunk_size(line: &[u8]) -> Result<u64, BadRequest> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| BadRequest::new(400, "chunk size line is not UTF-8"))?;
+    let digits = text.split(';').next().unwrap_or("").trim();
+    if digits.is_empty() || digits.len() > 16 {
+        return Err(BadRequest::new(400, "bad chunk size"));
+    }
+    u64::from_str_radix(digits, 16).map_err(|_| BadRequest::new(400, "bad chunk size"))
 }
 
 /// A response ready to serialize: status, content type, extra headers
@@ -527,6 +744,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        411 => "Length Required",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -884,6 +1102,7 @@ mod tests {
             query: vec![("scale".into(), "test".into()), ("format".into(), "csv".into())],
             body: Vec::new(),
             close: false,
+            chunked: false,
             trace: ReqTrace::default(),
         };
         assert_eq!(req.canonical_key(), "GET /v1/table/2?format=csv&scale=test");
@@ -1030,5 +1249,81 @@ mod tests {
         assert_eq!(response.status, 200);
         assert_eq!(response.body, b"{}");
         assert_eq!(&wire[used..], b"HTTP/1.1 404");
+    }
+
+    #[test]
+    fn chunked_request_completes_at_header_end() {
+        let wire =
+            b"POST /v1/trace/intervals HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello";
+        let head_end = wire.iter().position(|&b| b == b'5').unwrap();
+        match parse_request(wire) {
+            Parse::Complete { request, used } => {
+                assert!(request.chunked);
+                assert!(request.body.is_empty());
+                // The body stays on the wire for the streaming layer.
+                assert_eq!(used, head_end);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_transfer_encoding_is_rejected() {
+        let wire = b"POST /v1/trace/intervals HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
+        match parse_request(wire) {
+            Parse::Bad { bad, used } => {
+                assert_eq!(bad.status, 400);
+                assert!(used.is_none(), "framing is unknowable; must close");
+            }
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_decoder_handles_extensions_trailers_and_splits() {
+        let wire = b"4;ext=1\r\nabcd\r\nA\r\n0123456789\r\n0\r\nTrailer: x\r\n\r\ntail";
+        // Whole-buffer feed.
+        let mut decoder = ChunkedDecoder::new();
+        let mut out = Vec::new();
+        let used = decoder.feed(wire, &mut out).unwrap();
+        assert!(decoder.is_done());
+        assert_eq!(out, b"abcd0123456789");
+        assert_eq!(&wire[used..], b"tail");
+        assert_eq!(decoder.decoded_bytes(), 14);
+        // Byte-at-a-time feed reaches the same state.
+        let mut decoder = ChunkedDecoder::new();
+        let mut out = Vec::new();
+        let mut consumed = 0;
+        while !decoder.is_done() {
+            consumed += decoder
+                .feed(&wire[consumed..consumed + 1], &mut out)
+                .unwrap();
+        }
+        assert_eq!(out, b"abcd0123456789");
+        assert_eq!(consumed, used);
+    }
+
+    #[test]
+    fn chunked_decoder_tolerates_bare_lf() {
+        let mut decoder = ChunkedDecoder::new();
+        let mut out = Vec::new();
+        let used = decoder.feed(b"3\nxyz\n0\n\n", &mut out).unwrap();
+        assert!(decoder.is_done());
+        assert_eq!(out, b"xyz");
+        assert_eq!(used, 9);
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_malformed_framing() {
+        let mut out = Vec::new();
+        let bad = ChunkedDecoder::new().feed(b"zz\r\n", &mut out).unwrap_err();
+        assert_eq!(bad.status, 400);
+        let bad = ChunkedDecoder::new()
+            .feed(b"2\r\nabX", &mut out)
+            .unwrap_err();
+        assert_eq!(bad.status, 400);
+        let long = vec![b'1'; MAX_CHUNK_LINE + 2];
+        let bad = ChunkedDecoder::new().feed(&long, &mut out).unwrap_err();
+        assert_eq!(bad.status, 400);
     }
 }

@@ -9,6 +9,7 @@
 //!   GET  /v1/table/{1,2,3}?format=json|csv paper tables on demand
 //!   GET  /v1/figure/{7,8,9}?format=..      paper figure pairs
 //!   POST /v1/sweep                         batched Fig. 6 model points
+//!   POST /v1/trace/intervals?line_bits=..  streamed LKTR trace → interval summary
 //!   GET  /debug/requests?n=&route=&min_us= flight-recorder ring dump
 //!   GET  /debug/slow                       slowest + errored requests
 //!   GET  /debug/stats                      rolling 10 s per-route stats
@@ -28,6 +29,11 @@
 //!   503 + `Retry-After` ([`pool`]).
 //! - **Per-endpoint concurrency limits**: simulation-backed GETs and
 //!   sweep batches each hold a semaphore permit ([`limit`]).
+//! - **Streaming uploads**: `POST /v1/trace/intervals` accepts
+//!   `Transfer-Encoding: chunked` bodies without ever buffering them —
+//!   the worker pumps wire bytes straight through the chunk deframer
+//!   and trace decoder into the constant-memory streaming interval
+//!   extractor ([`streaming`]).
 //! - **Sharded hot state**: lock-striped profile-store front
 //!   ([`storefront`]), sharded O(1)-eviction LRU response cache
 //!   ([`respcache`]), striped telemetry counters.
@@ -69,6 +75,7 @@ pub mod respcache;
 pub mod routes;
 pub mod signal;
 pub mod storefront;
+pub mod streaming;
 pub mod trace;
 
 pub use http::{fetch, Client, ClientResponse, Request, Response, WireResponse};

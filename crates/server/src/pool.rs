@@ -792,6 +792,39 @@ pub fn work_requests(
     let mut answered = 0usize;
     let recorder = ctx.recorder.as_deref();
     loop {
+        if request.chunked {
+            // A chunked upload's body is still on the wire behind the
+            // header block. Flush the responses batched so far, then
+            // hand the socket to the streaming upload path — it reads
+            // the body incrementally and writes its own response.
+            // Exclusive connection ownership (reactor ONESHOT /
+            // per-worker connections) makes the blocking reads safe.
+            flush_batch(&mut conn, ctx, worker_config);
+            if !conn.close {
+                conn = crate::streaming::serve_upload(conn, &request, ctx, worker_config);
+            }
+            answered += 1;
+            if conn.close || answered >= worker_config.pipeline_batch {
+                break;
+            }
+            match conn.take_request(worker_config.max_requests_per_connection) {
+                Taken::Request(next) => {
+                    request = next;
+                    continue;
+                }
+                Taken::Bad { bad, recoverable } => {
+                    let survive = recoverable && !conn.eof;
+                    let wire = Response::error(bad.status, &bad.reason).into_wire();
+                    wire.serialize_into(&mut conn.out, survive);
+                    ctx.metrics.responses_4xx.inc();
+                    if !survive {
+                        conn.close = true;
+                    }
+                    break;
+                }
+                Taken::NeedMore => break,
+            }
+        }
         let started = Instant::now();
         let route = routes::route_name(&request);
         let stage = StageTrace::default();
@@ -879,34 +912,42 @@ pub fn work_requests(
             Taken::NeedMore => break,
         }
     }
-    if !conn.out.is_empty() {
-        let write_started = Instant::now();
-        if flush_output(&mut conn, worker_config).is_err() {
-            ctx.metrics.transport_errors.inc();
-            conn.close = true;
-        }
-        if let Some(recorder) = recorder {
-            // One write served the whole pipelined batch; each record
-            // carries that shared cost plus its own end-to-end total.
-            // A single clock read stamps the whole batch.
-            let flushed = Instant::now();
-            let write_us = us32(flushed.duration_since(write_started));
-            let end_us = recorder.now_us();
-            conn.last_write_us = write_us;
-            for pending in conn.pending.drain(..) {
-                let mut record = pending.record;
-                record.write_us = write_us;
-                record.total_us = record
-                    .parse_us
-                    .saturating_add(us32(flushed.saturating_duration_since(pending.parsed_at)));
-                record.end_us = end_us;
-                recorder.record(&record);
-            }
-        }
-    }
+    flush_batch(&mut conn, ctx, worker_config);
     conn.pending.clear();
     ctx.metrics.inflight.sub(1);
     conn
+}
+
+/// Writes the batch buffer (one write per pipelined batch) and stamps
+/// + publishes its pending flight-recorder records. Sets `conn.close`
+/// on a transport failure. No-op when nothing is serialized.
+fn flush_batch(conn: &mut Connection, ctx: &RouteContext, worker_config: &WorkerConfig) {
+    if conn.out.is_empty() {
+        return;
+    }
+    let write_started = Instant::now();
+    if flush_output(conn, worker_config).is_err() {
+        ctx.metrics.transport_errors.inc();
+        conn.close = true;
+    }
+    if let Some(recorder) = ctx.recorder.as_deref() {
+        // One write served the whole pipelined batch; each record
+        // carries that shared cost plus its own end-to-end total.
+        // A single clock read stamps the whole batch.
+        let flushed = Instant::now();
+        let write_us = us32(flushed.duration_since(write_started));
+        let end_us = recorder.now_us();
+        conn.last_write_us = write_us;
+        for pending in conn.pending.drain(..) {
+            let mut record = pending.record;
+            record.write_us = write_us;
+            record.total_us = record
+                .parse_us
+                .saturating_add(us32(flushed.saturating_duration_since(pending.parsed_at)));
+            record.end_us = end_us;
+            recorder.record(&record);
+        }
+    }
 }
 
 /// Writes the batched output buffer, toggling a reactor-owned socket

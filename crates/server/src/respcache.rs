@@ -338,6 +338,7 @@ mod tests {
             query: Vec::new(),
             body: Vec::new(),
             close: false,
+            chunked: false,
             trace: crate::trace::ReqTrace::default(),
         };
         assert!(ResponseCache::cacheable(&req("GET", "/v1/table/2"), 200));

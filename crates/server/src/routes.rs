@@ -58,9 +58,9 @@ pub const LATENCY_BOUNDS_US: [u64; 9] = [
 
 /// Every route label [`route_name`] can produce. The index of a label
 /// is its [`route_code`] — the u8 stored in flight-recorder records.
-pub const ROUTES: [&str; 10] = [
-    "healthz", "metrics", "version", "profile", "table", "figure", "sweep", "jobs", "debug",
-    "not_found",
+pub const ROUTES: [&str; 11] = [
+    "healthz", "metrics", "version", "profile", "table", "figure", "sweep", "trace", "jobs",
+    "debug", "not_found",
 ];
 
 /// The recorder's compact route code for a label (index in
@@ -137,6 +137,13 @@ impl HotMetrics {
             requests_total: reg.striped_counter("server_requests_total"),
             transport_errors: reg.striped_counter("server_transport_errors_total"),
             inflight: reg.gauge("server_inflight_requests"),
+        }
+    }
+
+    /// Bumps the per-route request counter.
+    pub fn count_route(&self, route: &str) {
+        if let Some(counter) = self.requests.get(route) {
+            counter.inc();
         }
     }
 
@@ -243,6 +250,7 @@ pub fn route_name(request: &Request) -> &'static str {
         _ if path.starts_with("/v1/table/") => "table",
         _ if path.starts_with("/v1/figure/") => "figure",
         _ if path == "/v1/sweep" => "sweep",
+        _ if path == "/v1/trace/intervals" => "trace",
         _ if path == "/v1/jobs" || path.starts_with("/v1/jobs/") => "jobs",
         _ if path.starts_with("/debug/") => "debug",
         _ => "not_found",
@@ -282,9 +290,7 @@ fn catalog_eligible(request: &Request, ctx: &RouteContext) -> bool {
 /// `&StageTrace::default()` when the breakdown is not needed.
 pub fn handle(request: &Request, ctx: &RouteContext, stage: &StageTrace) -> WireResponse {
     let route = route_name(request);
-    if let Some(counter) = ctx.metrics.requests.get(route) {
-        counter.inc();
-    }
+    ctx.metrics.count_route(route);
 
     let key = request.canonical_key();
     let in_catalog_space = catalog_eligible(request, ctx);
@@ -425,6 +431,20 @@ fn dispatch(request: &Request, ctx: &RouteContext, route: &str, stage: &StageTra
             };
             sweep(request, ctx, stage)
         }
+        ("POST", "trace") => {
+            // Buffered (Content-Length) uploads land here; chunked
+            // uploads never reach dispatch — the worker streams them
+            // through `crate::streaming::serve_upload`. A sweep permit
+            // bounds concurrent extractions the same way it bounds
+            // sweep batches.
+            let permit_started = Instant::now();
+            let permit = ctx.sweep_limit.acquire(ctx.limit_wait);
+            stage.permit_us.set(us32(permit_started.elapsed()));
+            let Some(_permit) = permit else {
+                return shed(ctx, stage, "trace extraction concurrency limit reached");
+            };
+            timed_store(stage, || crate::streaming::intervals_from_bytes(request))
+        }
         (_, "jobs") => jobs_route(request, ctx),
         (_, "not_found") => Response::error(404, &format!("no such route: {}", request.path)),
         _ => Response::error(405, &format!("{} not allowed here", request.method)),
@@ -469,6 +489,10 @@ fn healthz(ctx: &RouteContext) -> Response {
             json::key("recorder_capacity") + &num_u64(recorder_cap),
             json::key("recorder_recorded") + &num_u64(recorded_total),
             json::key("suite") + &json::array(SUITE_NAMES.iter().map(|n| json::string(n))),
+            json::key("isa_suite")
+                + &json::array(
+                    leakage_workloads::ISA_SUITE_NAMES.iter().map(|n| json::string(n)),
+                ),
         ]),
     )
 }
@@ -637,6 +661,8 @@ fn version() -> Response {
         json::object([
             json::key("generator_version")
                 + &num_u64(u64::from(leakage_workloads::GENERATOR_VERSION)),
+            json::key("isa_generator_version")
+                + &num_u64(u64::from(leakage_workloads::ISA_GENERATOR_VERSION)),
             json::key("format_version")
                 + &num_u64(u64::from(leakage_experiments::codec::FORMAT_VERSION)),
             json::key("git") + &json::string(git_describe()),
@@ -942,7 +968,7 @@ fn parse_sweep_body(request: &Request, ctx: &RouteContext) -> Result<SweepReques
         let field = |name: &str| raw.get(name).and_then(Json::as_str);
         let bad = |what: &str| Response::error(400, &format!("point {index}: {what}"));
         let benchmark = field("benchmark").ok_or_else(|| bad("missing \"benchmark\""))?;
-        if !SUITE_NAMES.contains(&benchmark) {
+        if !leakage_workloads::is_known_benchmark(benchmark) {
             return Err(bad(&format!("unknown benchmark {benchmark:?}")));
         }
         let side = field("side")
@@ -1062,6 +1088,7 @@ mod tests {
                 .collect(),
             body: Vec::new(),
             close: false,
+            chunked: false,
             trace: crate::trace::ReqTrace::default(),
         }
     }
@@ -1326,6 +1353,7 @@ mod tests {
             query: Vec::new(),
             body: body.as_bytes().to_vec(),
             close: false,
+            chunked: false,
             trace: crate::trace::ReqTrace::default(),
         };
         let response = handle(&request, &ctx);

@@ -226,6 +226,161 @@ pub fn read_trace<R: Read>(reader: R) -> Result<VecTrace, TraceError> {
     Ok(trace)
 }
 
+/// Incremental decoder for the binary trace format, fed arbitrary
+/// byte chunks as they arrive off a wire.
+///
+/// [`replay_trace`] pulls from a blocking `Read` and therefore needs
+/// the whole stream behind it; `StreamDecoder` inverts that: the
+/// caller pushes whatever bytes it has (network chunks, file pages),
+/// decoded events flow to the sink immediately, and the decoder's own
+/// state never exceeds one partial record (24 bytes) no matter how
+/// long the trace runs. This is what lets the analysis server ingest
+/// chunked trace uploads without buffering the body.
+///
+/// # Examples
+///
+/// ```
+/// use leakage_trace::io::{StreamDecoder, TraceWriter};
+/// use leakage_trace::{Cycle, MemoryAccess, Pc, TraceSink, VecTrace};
+///
+/// let mut wire = Vec::new();
+/// {
+///     let mut writer = TraceWriter::new(&mut wire).unwrap();
+///     writer.accept(MemoryAccess::fetch(Cycle::new(3), Pc::new(0x40)));
+///     writer.flush().unwrap();
+/// }
+///
+/// let mut decoder = StreamDecoder::new();
+/// let mut replay = VecTrace::new();
+/// for byte in &wire {
+///     decoder.feed(std::slice::from_ref(byte), &mut replay).unwrap();
+/// }
+/// decoder.finish().unwrap();
+/// assert_eq!(replay.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamDecoder {
+    /// Bytes of the header (8) still missing; records follow once 0.
+    header_missing: usize,
+    /// The header bytes gathered so far.
+    header: [u8; 8],
+    /// Partial record bytes straddling a chunk boundary.
+    partial: [u8; RECORD_BYTES],
+    /// How many bytes of `partial` are valid.
+    partial_len: usize,
+    /// Records decoded so far.
+    records: u64,
+}
+
+impl Default for StreamDecoder {
+    fn default() -> Self {
+        StreamDecoder::new()
+    }
+}
+
+impl StreamDecoder {
+    /// A decoder expecting the header next.
+    pub fn new() -> Self {
+        StreamDecoder {
+            header_missing: 8,
+            header: [0u8; 8],
+            partial: [0u8; RECORD_BYTES],
+            partial_len: 0,
+            records: 0,
+        }
+    }
+
+    /// Records decoded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Decodes every complete record in `chunk` (joined with any bytes
+    /// left over from earlier chunks) into `sink`; a trailing partial
+    /// record is retained for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors ([`TraceError::BadMagic`],
+    /// [`TraceError::UnsupportedVersion`], [`TraceError::InvalidKind`])
+    /// are sticky: the decoder stays failed and further feeding returns
+    /// the same class of error.
+    pub fn feed(&mut self, mut chunk: &[u8], sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+        // Header first: gather 8 bytes, then validate once.
+        while self.header_missing > 0 && !chunk.is_empty() {
+            let take = self.header_missing.min(chunk.len());
+            let at = 8 - self.header_missing;
+            self.header[at..at + take].copy_from_slice(&chunk[..take]);
+            self.header_missing -= take;
+            chunk = &chunk[take..];
+            if self.header_missing == 0 {
+                if self.header[0..4] != MAGIC {
+                    return Err(TraceError::BadMagic);
+                }
+                let version = u32::from_le_bytes([
+                    self.header[4],
+                    self.header[5],
+                    self.header[6],
+                    self.header[7],
+                ]);
+                if version != VERSION {
+                    return Err(TraceError::UnsupportedVersion { found: version });
+                }
+            }
+        }
+        // Complete the straddling record, if any.
+        if self.partial_len > 0 {
+            let take = (RECORD_BYTES - self.partial_len).min(chunk.len());
+            self.partial[self.partial_len..self.partial_len + take]
+                .copy_from_slice(&chunk[..take]);
+            self.partial_len += take;
+            chunk = &chunk[take..];
+            if self.partial_len < RECORD_BYTES {
+                return Ok(()); // Chunk exhausted, record still open.
+            }
+            self.partial_len = 0;
+            let record = self.partial;
+            self.emit(&record, sink)?;
+        }
+        // Whole records straight out of the chunk, no copy.
+        while chunk.len() >= RECORD_BYTES {
+            let record: [u8; RECORD_BYTES] =
+                chunk[..RECORD_BYTES].try_into().expect("record-sized window");
+            self.emit(&record, sink)?;
+            chunk = &chunk[RECORD_BYTES..];
+        }
+        // Retain the tail.
+        self.partial[..chunk.len()].copy_from_slice(chunk);
+        self.partial_len = chunk.len();
+        Ok(())
+    }
+
+    fn emit(&mut self, record: &[u8; RECORD_BYTES], sink: &mut dyn TraceSink) -> Result<(), TraceError> {
+        let kind = kind_from_byte(record[24])?;
+        sink.accept(MemoryAccess::new(
+            Cycle::new(le_u64(record, 0)),
+            Pc::new(le_u64(record, 8)),
+            Address::new(le_u64(record, 16)),
+            kind,
+        ));
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Declares end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::TornRecord`] when the stream ended mid-header or
+    /// mid-record.
+    pub fn finish(&self) -> Result<(), TraceError> {
+        if self.header_missing > 0 || self.partial_len > 0 {
+            return Err(TraceError::TornRecord);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +477,63 @@ mod tests {
         let n = replay_trace(&buffer[..], &mut counter).expect("replay");
         assert_eq!(n, 3);
         assert_eq!(counter.0, 3);
+    }
+
+    /// The incremental decoder agrees with the batch reader on every
+    /// chunking of the same wire bytes.
+    #[test]
+    fn stream_decoder_matches_batch_reader_across_chunkings() {
+        let buffer = encoded_sample();
+        let batch = read_trace(&buffer[..]).expect("batch replay");
+        for chunk_size in [1, 2, 7, 24, 25, 26, buffer.len()] {
+            let mut decoder = StreamDecoder::new();
+            let mut replay = VecTrace::new();
+            for chunk in buffer.chunks(chunk_size) {
+                decoder.feed(chunk, &mut replay).expect("feed");
+            }
+            decoder.finish().expect("finish");
+            assert_eq!(replay.events(), batch.events(), "chunk size {chunk_size}");
+            assert_eq!(decoder.records(), 3);
+        }
+    }
+
+    #[test]
+    fn stream_decoder_rejects_bad_magic_and_version() {
+        let mut decoder = StreamDecoder::new();
+        let err = decoder
+            .feed(b"NOPE\x01\x00\x00\x00", &mut VecTrace::new())
+            .unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic));
+
+        let mut decoder = StreamDecoder::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.extend_from_slice(&9u32.to_le_bytes());
+        let err = decoder.feed(&wire, &mut VecTrace::new()).unwrap_err();
+        assert!(matches!(err, TraceError::UnsupportedVersion { found: 9 }));
+    }
+
+    #[test]
+    fn stream_decoder_reports_torn_streams() {
+        let buffer = encoded_sample();
+        let mut decoder = StreamDecoder::new();
+        let mut replay = VecTrace::new();
+        decoder
+            .feed(&buffer[..buffer.len() - 3], &mut replay)
+            .expect("feed");
+        assert!(matches!(decoder.finish(), Err(TraceError::TornRecord)));
+        // Mid-header, likewise.
+        let decoder = StreamDecoder::new();
+        assert!(matches!(decoder.finish(), Err(TraceError::TornRecord)));
+    }
+
+    #[test]
+    fn stream_decoder_rejects_invalid_kind() {
+        let mut buffer = encoded_sample();
+        buffer[8 + RECORD_BYTES - 1] = 9;
+        let mut decoder = StreamDecoder::new();
+        let err = decoder.feed(&buffer, &mut VecTrace::new()).unwrap_err();
+        assert!(matches!(err, TraceError::InvalidKind(9)));
     }
 
     /// A writer over a failing sink defers the error to `flush` and

@@ -1,6 +1,7 @@
 //! Aggregate statistics over a trace.
 
 use crate::{AccessKind, Cycle, MemoryAccess};
+use leakage_faults::TraceError;
 use serde::{Deserialize, Serialize};
 
 /// Running statistics for a stream of [`MemoryAccess`] events.
@@ -49,6 +50,24 @@ impl TraceStats {
     /// Number of data (load + store) events.
     pub fn data_accesses(&self) -> u64 {
         self.loads + self.stores
+    }
+
+    /// The exclusive end-of-trace timestamp for interval extraction:
+    /// one cycle past the last observed event.
+    ///
+    /// The panicking shape of this query (`stats.last_cycle.unwrap()`)
+    /// used to be repeated at every call site that needed a trace end;
+    /// this accessor is the fallible replacement, so sources fed an
+    /// empty trace report [`TraceError::Empty`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Empty`] when no event has been observed.
+    pub fn end_cycle(&self) -> Result<Cycle, TraceError> {
+        match self.last_cycle {
+            Some(last) => Ok(last.advanced(1)),
+            None => Err(TraceError::Empty),
+        }
     }
 
     /// Number of cycles spanned from the first to the last event,
@@ -102,6 +121,14 @@ mod tests {
         assert_eq!(stats.total(), 0);
         assert_eq!(stats.span_cycles(), 0);
         assert_eq!(stats.first_cycle, None);
+        assert!(matches!(stats.end_cycle(), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn end_cycle_is_one_past_the_last_event() {
+        let mut stats = TraceStats::new();
+        stats.observe(&MemoryAccess::fetch(Cycle::new(41), Pc::new(0)));
+        assert_eq!(stats.end_cycle().expect("non-empty"), Cycle::new(42));
     }
 
     #[test]

@@ -77,13 +77,21 @@ impl Scale {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Benchmark {
-    inner: SpecWorkload,
+    inner: Inner,
+}
+
+/// The two workload families behind the [`Benchmark`] facade: the
+/// declarative synthetic generators and the executed `isa:*` programs.
+#[derive(Debug, Clone)]
+enum Inner {
+    Spec(SpecWorkload),
+    Isa(crate::isa::IsaWorkload),
 }
 
 impl Benchmark {
     fn new(spec: Spec, scale: Scale) -> Self {
         Benchmark {
-            inner: SpecWorkload::new(spec, scale.cycles()),
+            inner: Inner::Spec(SpecWorkload::new(spec, scale.cycles())),
         }
     }
 
@@ -98,20 +106,36 @@ impl Benchmark {
         Benchmark::new(spec, scale)
     }
 
-    /// The benchmark's name (e.g. `"gcc"`).
+    /// The benchmark's name (e.g. `"gcc"` or `"isa:matmul"`).
     pub fn name(&self) -> &'static str {
-        self.inner.name()
+        match &self.inner {
+            Inner::Spec(spec) => spec.name(),
+            Inner::Isa(isa) => isa.name(),
+        }
     }
 
-    /// The underlying declarative spec.
+    /// The underlying declarative spec, for synthetic benchmarks.
+    /// Executed `isa:*` benchmarks are programs, not specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an `isa:*` benchmark.
     pub fn spec(&self) -> &Spec {
-        self.inner.spec()
+        match &self.inner {
+            Inner::Spec(spec) => spec.spec(),
+            Inner::Isa(isa) => {
+                panic!("{} is an executed program, not a declarative spec", isa.name())
+            }
+        }
     }
 }
 
 impl TraceSource for Benchmark {
     fn run(&mut self, sink: &mut dyn TraceSink) {
-        self.inner.run(sink)
+        match &mut self.inner {
+            Inner::Spec(spec) => spec.run(sink),
+            Inner::Isa(isa) => isa.run(sink),
+        }
     }
 }
 
@@ -131,9 +155,19 @@ pub fn suite(scale: Scale) -> Vec<Benchmark> {
     ]
 }
 
-/// Constructs a suite benchmark by name, or `None` for a name outside
-/// [`SUITE_NAMES`]. This is the lookup profile caches use to
-/// re-simulate a missing entry.
+/// The executed-program suite: every `isa:*` benchmark at `scale`, in
+/// [`crate::ISA_SUITE_NAMES`] order.
+pub fn isa_suite(scale: Scale) -> Vec<Benchmark> {
+    crate::ISA_SUITE_NAMES
+        .iter()
+        .map(|name| by_name(name, scale).expect("library program resolves"))
+        .collect()
+}
+
+/// Constructs a suite benchmark by name — a synthetic analog from
+/// [`SUITE_NAMES`] or an executed program from
+/// [`crate::ISA_SUITE_NAMES`] — or `None` for anything else. This is
+/// the lookup profile caches use to re-simulate a missing entry.
 pub fn by_name(name: &str, scale: Scale) -> Option<Benchmark> {
     match name {
         "ammp" => Some(ammp(scale)),
@@ -142,7 +176,8 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Benchmark> {
         "gzip" => Some(gzip(scale)),
         "mesa" => Some(mesa(scale)),
         "vortex" => Some(vortex(scale)),
-        _ => None,
+        _ => crate::isa::IsaWorkload::by_name(name, scale.cycles())
+            .map(|isa| Benchmark { inner: Inner::Isa(isa) }),
     }
 }
 

@@ -18,7 +18,10 @@
 //!   management schemes.
 //! * [`online`] — timeline simulation of implementable controllers
 //!   (decay counters, periodic drowsy, feedback-adaptive decay).
-//! * [`workloads`] — the six SPEC2000-analog synthetic benchmarks.
+//! * [`isa`] — the mini-ISA front end: assembler, deterministic
+//!   simulator, and the executed-program benchmark library.
+//! * [`workloads`] — the six SPEC2000-analog synthetic benchmarks plus
+//!   the executed `isa:*` suite.
 //! * [`experiments`] — the harness regenerating every table and figure.
 //! * [`faults`] — typed errors, deterministic fault injection
 //!   (`LEAKAGE_FAULTS`), and retry helpers.
@@ -49,6 +52,7 @@ pub use leakage_energy as energy;
 pub use leakage_experiments as experiments;
 pub use leakage_faults as faults;
 pub use leakage_intervals as intervals;
+pub use leakage_isa as isa;
 pub use leakage_jobs as jobs;
 pub use leakage_online as online;
 pub use leakage_prefetch as prefetch;

@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 
 use leakage_conformance::golden::check_golden;
 use leakage_experiments::{
-    fig7, fig8, fig9, profile_suite_serial, table1, table2, table3, Table,
+    fig7, fig8, fig9, isa_suite, profile_suite_serial, table1, table2, table3, Table,
 };
 use leakage_workloads::Scale;
 
@@ -37,6 +37,7 @@ fn artifacts_match_committed_goldens() {
     check(&mut failures, "table1", &table1::generate());
     check(&mut failures, "table2", &table2::generate(&profiles));
     check(&mut failures, "table3", &table3::generate());
+    check(&mut failures, "isa_suite", &isa_suite::generate(Scale::Test));
     for (name, (icache, dcache)) in [
         ("fig7", fig7::generate(&profiles)),
         ("fig8", fig8::generate(&profiles)),
